@@ -1,0 +1,60 @@
+//! Error type for accelerator-model construction.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or evaluating accelerator models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parallelism configuration is invalid for the stage it was applied
+    /// to (zero factors, or factors exceeding the stage dimensions).
+    InvalidParallelism {
+        /// Stage the configuration was applied to.
+        stage: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A configuration references a stage or branch that does not exist.
+    UnknownTarget {
+        /// Description of the missing target.
+        what: String,
+    },
+    /// A configuration is structurally inconsistent (e.g. wrong number of
+    /// per-stage entries for a branch).
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParallelism { stage, reason } => {
+                write!(f, "invalid parallelism for stage `{stage}`: {reason}")
+            }
+            Error::UnknownTarget { what } => write!(f, "unknown target: {what}"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_displayable_and_sendable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+        let err = Error::InvalidConfig {
+            reason: "branch 2 expects 8 stage configs, got 3".to_owned(),
+        };
+        assert!(err.to_string().contains("branch 2"));
+    }
+}

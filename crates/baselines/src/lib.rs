@@ -1,0 +1,37 @@
+//! Baseline accelerators the paper compares F-CAD against (Sec. III,
+//! Table II, Fig. 3, Table V).
+//!
+//! Neither DNNBuilder nor HybridDNN is open source, and the Snapdragon 865
+//! numbers come from running on a phone SoC, so this crate re-implements the
+//! three comparators as analytical models built from their published
+//! architecture descriptions. Each model reproduces the *failure mode* the
+//! paper attributes to it:
+//!
+//! * [`DnnBuilder`] — an unfolded, per-layer pipeline with **two-level
+//!   parallelism** (input × output channels only). Layers with few channels
+//!   cap at `InCh × OutCh` MAC lanes, so throughput saturates no matter how
+//!   many DSPs the FPGA offers, and the extra resources only depress
+//!   efficiency (Table II schemes 1→3, Fig. 3).
+//! * [`HybridDnn`] — a folded, single shared compute engine whose size
+//!   scales in **coarse power-of-two steps**; the next step doubles the BRAM
+//!   demand, so on BRAM-limited parts the engine stops growing and leaves
+//!   DSPs unused (Table II schemes 2–3, Table V).
+//! * [`MobileSoc`] — a Snapdragon-865-class AI engine whose small shared
+//!   cache forces HD feature maps back and forth to LPDDR, leaving it
+//!   memory-bound at a low efficiency (Table II first row).
+//!
+//! All three expose the same [`BaselineResult`] so the benchmark harness can
+//! tabulate them next to F-CAD's own designs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dnnbuilder;
+mod hybriddnn;
+mod result;
+mod soc;
+
+pub use dnnbuilder::DnnBuilder;
+pub use hybriddnn::HybridDnn;
+pub use result::{BaselineResult, LayerLatency};
+pub use soc::MobileSoc;

@@ -1,0 +1,30 @@
+//! Regenerates the Sec. VII convergence study and benchmarks a single
+//! in-branch optimization (the inner loop of the DSE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::{ConvStage, BranchPipeline, ResourceBudget};
+use fcad_dse::InBranchOptimizer;
+use fcad_nnir::models::targeted_decoder;
+use fcad_nnir::Precision;
+use fcad_profiler::NetworkProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::convergence(3, false));
+    let profile = NetworkProfile::of(&targeted_decoder());
+    let texture = BranchPipeline::new(
+        "texture",
+        ConvStage::stages_of_branch(&profile.branches()[1]),
+    );
+    c.bench_function("dse/in_branch_optimize_texture", |b| {
+        let optimizer = InBranchOptimizer::new(&texture, Precision::Int8, 200e6);
+        let budget = ResourceBudget::new(1600, 1000, 8.0);
+        b.iter(|| optimizer.optimize(&budget, 2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

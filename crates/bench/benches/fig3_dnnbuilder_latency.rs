@@ -1,0 +1,24 @@
+//! Regenerates Fig. 3 (DNNBuilder per-layer latencies across schemes) and
+//! benchmarks the per-layer latency extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_baselines::DnnBuilder;
+use fcad_nnir::models::mimic_decoder;
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::fig3().1);
+    let mimic = mimic_decoder();
+    c.bench_function("fig3/branch_tail_latencies", |b| {
+        let builder = DnnBuilder::new(Platform::zu9cg(), Precision::Int8);
+        b.iter(|| builder.branch_tail_latencies(&mimic, "texture", 5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Fig. 6 (FPS estimation error) and benchmarks the
+//! analytical-vs-simulation comparison for one benchmark network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad::{Customization, Fcad, ValidationReport};
+use fcad_accel::Platform;
+use fcad_nnir::models::alexnet;
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    let samples = fcad_bench::estimation_study(false);
+    println!("{}", fcad_bench::fig6(&samples));
+    let platform = Platform::ku115();
+    let result = Fcad::new(alexnet(), platform.clone())
+        .with_customization(Customization::uniform(1, Precision::Int16))
+        .with_dse_params(fcad_bench::dse_params(false))
+        .run()
+        .expect("alexnet flow succeeds");
+    c.bench_function("fig6/validate_alexnet", |b| {
+        b.iter(|| {
+            ValidationReport::compare(
+                &result.accelerator,
+                &result.dse.best_config,
+                platform.budget().bandwidth_bytes_per_sec,
+            )
+            .expect("configs match")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 7 (efficiency estimation error) and benchmarks the
+//! cycle-level simulation of a full decoder configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_cyclesim::Simulator;
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    let samples = fcad_bench::estimation_study(false);
+    println!("{}", fcad_bench::fig7(&samples));
+    let result = fcad_bench::run_case(&Platform::zu9cg(), Precision::Int8, false);
+    let simulator = Simulator::for_accelerator(
+        &result.accelerator,
+        Platform::zu9cg().budget().bandwidth_bytes_per_sec,
+    );
+    c.bench_function("fig7/simulate_decoder_accelerator", |b| {
+        b.iter(|| simulator.simulate_accelerator(&result.accelerator, &result.dse.best_config))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Table I (decoder profile) and benchmarks the profiling pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_nnir::models::targeted_decoder;
+use fcad_profiler::NetworkProfile;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::table1());
+    c.bench_function("table1/profile_decoder", |b| {
+        let net = targeted_decoder();
+        b.iter(|| NetworkProfile::of(&net))
+    });
+    c.bench_function("table1/build_decoder_ir", |b| b.iter(targeted_decoder));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Table II (baseline accelerators) and benchmarks the baseline
+//! evaluators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_baselines::{DnnBuilder, HybridDnn, MobileSoc};
+use fcad_nnir::models::{mimic_decoder, targeted_decoder};
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::table2().1);
+    let mimic = mimic_decoder();
+    let real = targeted_decoder();
+    c.bench_function("table2/dnnbuilder_zu9cg", |b| {
+        let baseline = DnnBuilder::new(Platform::zu9cg(), Precision::Int8);
+        b.iter(|| baseline.evaluate(&mimic))
+    });
+    c.bench_function("table2/hybriddnn_zu9cg", |b| {
+        let baseline = HybridDnn::new(Platform::zu9cg());
+        b.iter(|| baseline.evaluate(&mimic))
+    });
+    c.bench_function("table2/mobile_soc", |b| {
+        let soc = MobileSoc::snapdragon865();
+        b.iter(|| soc.evaluate(&real, Precision::Int8))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

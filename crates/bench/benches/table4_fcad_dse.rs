@@ -1,0 +1,20 @@
+//! Regenerates Table IV (the five F-CAD-generated accelerators) and
+//! benchmarks one full design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::table4(false));
+    c.bench_function("table4/explore_case4_zu9cg_8bit", |b| {
+        b.iter(|| fcad_bench::run_case(&Platform::zu9cg(), Precision::Int8, false))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates Table V (F-CAD vs DNNBuilder vs HybridDNN on the ZU9CG) and
+//! benchmarks the head-to-head evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_baselines::DnnBuilder;
+use fcad_nnir::models::mimic_decoder;
+use fcad_nnir::Precision;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fcad_bench::table5(false));
+    let mimic = mimic_decoder();
+    c.bench_function("table5/dnnbuilder_vs_fcad_inputs", |b| {
+        let baseline = DnnBuilder::new(Platform::zu9cg(), Precision::Int8);
+        b.iter(|| baseline.evaluate(&mimic))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

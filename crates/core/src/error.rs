@@ -1,0 +1,80 @@
+//! Error type of the end-to-end flow.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the F-CAD design flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input network failed validation.
+    Network(fcad_nnir::Error),
+    /// The accelerator model rejected a configuration.
+    Model(fcad_accel::Error),
+    /// The design-space exploration failed (no feasible design, mismatched
+    /// customization, ...).
+    Exploration(fcad_dse::Error),
+    /// The flow inputs are inconsistent (e.g. customization for the wrong
+    /// number of branches).
+    InvalidInput {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Network(err) => write!(f, "network error: {err}"),
+            Error::Model(err) => write!(f, "accelerator model error: {err}"),
+            Error::Exploration(err) => write!(f, "exploration error: {err}"),
+            Error::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Network(err) => Some(err),
+            Error::Model(err) => Some(err),
+            Error::Exploration(err) => Some(err),
+            Error::InvalidInput { .. } => None,
+        }
+    }
+}
+
+impl From<fcad_nnir::Error> for Error {
+    fn from(err: fcad_nnir::Error) -> Self {
+        Error::Network(err)
+    }
+}
+
+impl From<fcad_accel::Error> for Error {
+    fn from(err: fcad_accel::Error) -> Self {
+        Error::Model(err)
+    }
+}
+
+impl From<fcad_dse::Error> for Error {
+    fn from(err: fcad_dse::Error) -> Self {
+        Error::Exploration(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: Error = fcad_dse::Error::NoFeasibleDesign {
+            reason: "too small".to_owned(),
+        }
+        .into();
+        assert!(err.to_string().contains("too small"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

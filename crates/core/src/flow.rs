@@ -1,0 +1,206 @@
+//! The end-to-end F-CAD flow: Analysis → Construction → Optimization.
+
+use crate::construction::Construction;
+use crate::error::{Error, Result};
+use fcad_accel::{AcceleratorReport, ElasticAccelerator, Platform};
+use fcad_dse::{Customization, DseEngine, DseParams, DseResult};
+use fcad_nnir::{Network, Precision};
+use fcad_profiler::NetworkProfile;
+
+/// The F-CAD automation flow for one network / platform pair.
+///
+/// Construct it with [`Fcad::new`], optionally customize the quantization,
+/// per-branch batch sizes, priorities and DSE hyper-parameters, then call
+/// [`Fcad::run`].
+#[derive(Debug, Clone)]
+pub struct Fcad {
+    network: Network,
+    platform: Platform,
+    customization: Option<Customization>,
+    dse_params: DseParams,
+}
+
+impl Fcad {
+    /// Creates a flow for a network targeting a platform, with uniform
+    /// customization (batch 1, equal priorities, 8-bit quantization) and the
+    /// paper's DSE hyper-parameters.
+    pub fn new(network: Network, platform: Platform) -> Self {
+        Self {
+            network,
+            platform,
+            customization: None,
+            dse_params: DseParams::paper(),
+        }
+    }
+
+    /// Sets the customization (quantization, per-branch batch sizes and
+    /// priorities).
+    pub fn with_customization(mut self, customization: Customization) -> Self {
+        self.customization = Some(customization);
+        self
+    }
+
+    /// Sets the DSE hyper-parameters (population, iterations, fitness).
+    pub fn with_dse_params(mut self, params: DseParams) -> Self {
+        self.dse_params = params;
+        self
+    }
+
+    /// The input network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Runs the three-step flow and returns the optimized design.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network fails validation, the customization
+    /// does not match the branch count, or no design fits the platform
+    /// budget.
+    pub fn run(&self) -> Result<FcadResult> {
+        // Step 1: Analysis.
+        self.network.validate()?;
+        let profile = NetworkProfile::of(&self.network);
+
+        let customization = match &self.customization {
+            Some(c) => {
+                if c.branch_count() != self.network.branch_count() {
+                    return Err(Error::InvalidInput {
+                        reason: format!(
+                            "customization describes {} branches but the network has {}",
+                            c.branch_count(),
+                            self.network.branch_count()
+                        ),
+                    });
+                }
+                c.clone()
+            }
+            None => Customization::uniform(self.network.branch_count(), Precision::Int8),
+        };
+
+        // Step 2: Construction.
+        let construction = Construction::of(&self.network, &profile);
+        let accelerator = construction.instantiate(
+            format!("{}-accelerator", self.network.name()),
+            &self.platform,
+        );
+
+        // Step 3: Optimization.
+        let engine = DseEngine::new(self.dse_params);
+        let dse = engine.explore(&accelerator, &self.platform, &customization)?;
+
+        Ok(FcadResult {
+            profile,
+            construction,
+            accelerator,
+            customization,
+            dse,
+        })
+    }
+}
+
+/// The output of one F-CAD run: every intermediate artifact of the flow plus
+/// the optimized design.
+#[derive(Debug, Clone)]
+pub struct FcadResult {
+    /// Analysis-step output.
+    pub profile: NetworkProfile,
+    /// Construction-step output (fusion / reorganization summary).
+    pub construction: Construction,
+    /// The instantiated elastic architecture.
+    pub accelerator: ElasticAccelerator,
+    /// The customization the design was optimized for.
+    pub customization: Customization,
+    /// The exploration result (best configuration, report, convergence).
+    pub dse: DseResult,
+}
+
+impl FcadResult {
+    /// The analytical report of the best design.
+    pub fn report(&self) -> &AcceleratorReport {
+        &self.dse.best_report
+    }
+
+    /// Frames per second of the slowest branch of the best design.
+    pub fn min_fps(&self) -> f64 {
+        self.report().min_fps
+    }
+
+    /// Overall hardware efficiency of the best design.
+    pub fn efficiency(&self) -> f64 {
+        self.report().overall_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcad_nnir::models::{targeted_decoder, tiny_yolo};
+
+    fn fast_flow(platform: Platform) -> FcadResult {
+        Fcad::new(targeted_decoder(), platform)
+            .with_customization(Customization::codec_avatar(Precision::Int8))
+            .with_dse_params(DseParams::fast())
+            .run()
+            .expect("decoder flow succeeds")
+    }
+
+    #[test]
+    fn decoder_flow_produces_a_feasible_design() {
+        let platform = Platform::zu17eg();
+        let result = fast_flow(platform.clone());
+        assert!(result.report().fits(platform.budget()));
+        assert_eq!(result.report().branches.len(), 3);
+        // All three branches deliver real-time-class throughput.
+        assert!(result.min_fps() > 30.0, "min fps {}", result.min_fps());
+        assert!(result.efficiency() > 0.5, "efficiency {}", result.efficiency());
+    }
+
+    #[test]
+    fn decoder_flow_beats_the_z7045_on_the_bigger_zu9cg() {
+        let small = fast_flow(Platform::z7045());
+        let large = fast_flow(Platform::zu9cg());
+        assert!(
+            large.min_fps() >= small.min_fps(),
+            "ZU9CG {} vs Z7045 {}",
+            large.min_fps(),
+            small.min_fps()
+        );
+    }
+
+    #[test]
+    fn mismatched_customization_is_rejected() {
+        let err = Fcad::new(targeted_decoder(), Platform::z7045())
+            .with_customization(Customization::uniform(2, Precision::Int8))
+            .with_dse_params(DseParams::fast())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn single_branch_networks_run_through_the_same_flow() {
+        let result = Fcad::new(tiny_yolo(), Platform::zu9cg())
+            .with_dse_params(DseParams::fast())
+            .run()
+            .expect("tiny-yolo flow succeeds");
+        assert_eq!(result.report().branches.len(), 1);
+        assert!(result.min_fps() > 0.0);
+    }
+
+    #[test]
+    fn default_customization_is_uniform_8bit() {
+        let result = Fcad::new(targeted_decoder(), Platform::zu9cg())
+            .with_dse_params(DseParams::fast())
+            .run()
+            .unwrap();
+        assert_eq!(result.customization.batch_sizes, vec![1, 1, 1]);
+        assert_eq!(result.customization.precision, Precision::Int8);
+    }
+}

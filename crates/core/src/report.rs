@@ -1,0 +1,64 @@
+//! Table-IV-style rendering of flow results.
+
+use crate::flow::FcadResult;
+use fcad_profiler::Table;
+
+/// Renders one F-CAD result as a Table-IV-style case block: per-branch DSP /
+/// BRAM usage, FPS and efficiency, followed by totals and the DSE runtime.
+pub fn render_case_table(case_name: &str, result: &FcadResult) -> String {
+    let mut table = Table::new(vec![
+        "Br.".to_owned(),
+        "DSP".to_owned(),
+        "BRAM".to_owned(),
+        "FPS".to_owned(),
+        "Efficiency".to_owned(),
+    ]);
+    for (i, branch) in result.report().branches.iter().enumerate() {
+        table.add_row(vec![
+            format!("{} ({})", i + 1, branch.name),
+            format!("{}", branch.usage.dsp),
+            format!("{}", branch.usage.bram),
+            format!("{:.1}", branch.fps),
+            format!("{:.1}%", branch.efficiency * 100.0),
+        ]);
+    }
+    let usage = &result.report().total_usage;
+    table.add_row(vec![
+        "total".to_owned(),
+        format!("{}", usage.dsp),
+        format!("{}", usage.bram),
+        format!("{:.1}", result.min_fps()),
+        format!("{:.1}%", result.efficiency() * 100.0),
+    ]);
+    format!(
+        "{case_name}\n{}DSE: converged at iteration {} of {}, {:.2} s\n",
+        table.render(),
+        result.dse.convergence_iteration,
+        result.dse.iterations_run,
+        result.dse.elapsed_seconds
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Customization, DseParams, Fcad};
+    use fcad_accel::Platform;
+    use fcad_nnir::models::targeted_decoder;
+    use fcad_nnir::Precision;
+
+    #[test]
+    fn case_table_lists_branches_totals_and_dse_time() {
+        let result = Fcad::new(targeted_decoder(), Platform::z7045())
+            .with_customization(Customization::codec_avatar(Precision::Int8))
+            .with_dse_params(DseParams::fast())
+            .run()
+            .unwrap();
+        let text = render_case_table("Case 1: Z7045 (8-bit)", &result);
+        assert!(text.contains("Case 1"));
+        assert!(text.contains("texture"));
+        assert!(text.contains("total"));
+        assert!(text.contains("DSE: converged"));
+        assert!(text.contains('%'));
+    }
+}

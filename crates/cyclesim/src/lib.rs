@@ -1,0 +1,47 @@
+//! Cycle-level simulator for F-CAD-style layer-pipelined accelerators.
+//!
+//! The paper validates its analytical performance model against board-level
+//! implementations (Figs. 6 and 7). This reproduction has no FPGA board, so
+//! this crate plays that role: it executes an accelerator configuration in a
+//! discrete-time simulation that models effects the analytical model ignores —
+//!
+//! * **tile quantization**: loops are executed in `⌈dim / factor⌉` steps, so
+//!   parallelism factors that do not divide the layer dimensions lose cycles;
+//! * **pipeline fill and drain**: downstream stages cannot start until
+//!   enough rows of their input feature map have been produced;
+//! * **per-tile control overhead**: each row-tile pays a fixed pipeline
+//!   set-up cost;
+//! * **weight-streaming stalls**: DNN parameters are fetched from a shared,
+//!   bandwidth-limited external memory; a stage stalls when its next weight
+//!   tile has not arrived.
+//!
+//! The result is a slightly pessimistic, configuration-sensitive reference
+//! against which the analytical estimates of [`fcad_accel`] deviate by a few
+//! percent — the same role silicon plays in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use fcad_accel::{BranchConfig, ConvStage, Parallelism, StageConfig};
+//! use fcad_cyclesim::Simulator;
+//! use fcad_nnir::Precision;
+//!
+//! let stages = vec![ConvStage::synthetic("conv", 16, 16, 64, 64, 3, 1)];
+//! let config = BranchConfig::new(1, vec![StageConfig::new(Parallelism::new(8, 8, 2))]);
+//! let sim = Simulator::new(200e6, 12.8e9);
+//! let result = sim.simulate_branch(&stages, &config, Precision::Int8);
+//! assert!(result.fps > 0.0);
+//! assert!(result.steady_interval_cycles >= 16 * 64 * 64 * 9 / (8 * 8 * 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod memory;
+mod result;
+mod simulator;
+
+pub use memory::MemoryModel;
+pub use result::{AcceleratorSim, BranchSim, StageSim};
+pub use simulator::Simulator;

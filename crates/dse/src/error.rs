@@ -1,0 +1,68 @@
+//! Error type for the DSE engine.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised during design-space exploration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The customization does not match the accelerator (e.g. wrong number
+    /// of per-branch batch sizes or priorities).
+    MismatchedCustomization {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// No feasible design exists within the budget (even the minimal
+    /// configuration does not fit).
+    NoFeasibleDesign {
+        /// Human-readable description of the binding constraint.
+        reason: String,
+    },
+    /// An underlying accelerator-model error.
+    Model(fcad_accel::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MismatchedCustomization { reason } => {
+                write!(f, "mismatched customization: {reason}")
+            }
+            Error::NoFeasibleDesign { reason } => write!(f, "no feasible design: {reason}"),
+            Error::Model(err) => write!(f, "accelerator model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<fcad_accel::Error> for Error {
+    fn from(err: fcad_accel::Error) -> Self {
+        Error::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_model_errors() {
+        let model_err = fcad_accel::Error::InvalidConfig {
+            reason: "x".to_owned(),
+        };
+        let err: Error = model_err.into();
+        assert!(err.to_string().contains("accelerator model error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! In-branch greedy optimization (Algorithm 2 of the paper).
+
+use fcad_accel::{
+    BranchConfig, BranchPipeline, CostModel, Parallelism, ResourceBudget, StageConfig, UnitModel,
+};
+use fcad_nnir::Precision;
+
+/// Greedy search for the best configuration of a single branch under a
+/// given resource distribution.
+///
+/// Following Algorithm 2, the optimizer
+///
+/// 1. derives *optimistic* per-stage parallelism targets by assuming the
+///    branch runs at the frame rate its allocated bandwidth could sustain
+///    (weights are streamed once per frame), distributing lanes
+///    proportionally to each stage's compute so the pipeline stays
+///    load-balanced;
+/// 2. repeatedly halves all targets while the configuration cannot support
+///    the requested batch size within the allocated DSPs / BRAMs /
+///    bandwidth;
+/// 3. greedily grows the slowest stage again while the batch-size constraint
+///    keeps holding, stopping when no stage can grow — "once the parallelism
+///    fails to grow".
+#[derive(Debug, Clone)]
+pub struct InBranchOptimizer<'a> {
+    pipeline: &'a BranchPipeline,
+    precision: Precision,
+    frequency_hz: f64,
+    cost: CostModel,
+}
+
+impl<'a> InBranchOptimizer<'a> {
+    /// Creates an optimizer for one branch pipeline.
+    pub fn new(pipeline: &'a BranchPipeline, precision: Precision, frequency_hz: f64) -> Self {
+        Self {
+            pipeline,
+            precision,
+            frequency_hz,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Replaces the cost model used for utilization estimates.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Finds the largest-parallelism configuration of the branch that
+    /// supports `target_batch` pipeline copies within `budget`.
+    ///
+    /// When even the minimal configuration does not fit, the minimal
+    /// configuration is returned; the caller detects infeasibility by
+    /// re-evaluating the returned configuration against its budget.
+    pub fn optimize(&self, budget: &ResourceBudget, target_batch: usize) -> BranchConfig {
+        let stages = self.pipeline.stages();
+        if stages.is_empty() {
+            return BranchConfig::new(target_batch, Vec::new());
+        }
+
+        // Lines 4–12: optimistic, load-balanced parallelism targets derived
+        // from the bandwidth-limited frame rate.
+        let weight_bytes: u64 = self
+            .pipeline
+            .weight_bytes_per_frame(self.precision)
+            .max(1);
+        let bandwidth_fps =
+            budget.bandwidth_bytes_per_sec * self.cost.dram_efficiency / weight_bytes as f64;
+        let mut targets: Vec<usize> = stages
+            .iter()
+            .map(|stage| {
+                let lanes = (stage.macs as f64 * bandwidth_fps / self.frequency_hz).ceil();
+                (lanes as usize).max(1)
+            })
+            .collect();
+
+        // Lines 13–24: halve until the requested batch size fits.
+        let target_batch = target_batch.max(1);
+        loop {
+            let batch = self.supported_batch(&targets, budget);
+            if batch >= target_batch {
+                break;
+            }
+            if targets.iter().all(|&t| t <= 1) {
+                break;
+            }
+            for t in &mut targets {
+                *t = (*t / 2).max(1);
+            }
+        }
+
+        // Greedy growth: push the slowest stage further while the batch-size
+        // constraint keeps holding.
+        let mut growable = vec![true; targets.len()];
+        let mut guard = 0usize;
+        while growable.iter().any(|&g| g) && guard < 512 {
+            guard += 1;
+            let Some(slowest) = self.slowest_growable_stage(&targets, &growable) else {
+                break;
+            };
+            let stage = &stages[slowest];
+            let max_lanes = Parallelism::max_for(stage).total();
+            let current = targets[slowest];
+            if current >= max_lanes {
+                growable[slowest] = false;
+                continue;
+            }
+            let attempt = (current * 2).min(max_lanes);
+            let mut trial = targets.clone();
+            trial[slowest] = attempt;
+            if self.supported_batch(&trial, budget) >= target_batch {
+                targets = trial;
+            } else {
+                growable[slowest] = false;
+            }
+        }
+
+        BranchConfig::new(target_batch, self.stage_configs(&targets))
+    }
+
+    /// How many pipeline copies with the given per-stage lane targets fit in
+    /// the budget (Algorithm 2, line 18).
+    fn supported_batch(&self, targets: &[usize], budget: &ResourceBudget) -> usize {
+        let stages = self.pipeline.stages();
+        let mut dsp = 0usize;
+        let mut bram = 0usize;
+        let mut max_latency = 1u64;
+        let mut weight_bytes = 0u64;
+        for (stage, &lanes) in stages.iter().zip(targets) {
+            let unit = UnitModel::with_cost_model(
+                stage,
+                Parallelism::for_target(stage, lanes),
+                self.precision,
+                &self.cost,
+            );
+            dsp += unit.dsp();
+            bram += unit.bram();
+            max_latency = max_latency.max(unit.latency_cycles());
+            weight_bytes += unit.weight_bytes_per_frame();
+        }
+        let copies_by_dsp = budget.dsp / dsp.max(1);
+        let copies_by_bram = budget.bram / bram.max(1);
+        let fps_single = self.frequency_hz / max_latency as f64;
+        let bw_per_copy =
+            weight_bytes as f64 * fps_single / self.cost.dram_efficiency.max(1e-6);
+        let copies_by_bw = if bw_per_copy <= 0.0 {
+            usize::MAX
+        } else {
+            (budget.bandwidth_bytes_per_sec / bw_per_copy).floor() as usize
+        };
+        copies_by_dsp.min(copies_by_bram).min(copies_by_bw)
+    }
+
+    /// Index of the stage with the highest latency among those still allowed
+    /// to grow.
+    fn slowest_growable_stage(&self, targets: &[usize], growable: &[bool]) -> Option<usize> {
+        let stages = self.pipeline.stages();
+        stages
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| growable[*i])
+            .max_by_key(|(i, stage)| {
+                let p = Parallelism::for_target(stage, targets[*i]);
+                (stage.macs as f64 / p.total() as f64).ceil() as u64
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn stage_configs(&self, targets: &[usize]) -> Vec<StageConfig> {
+        self.pipeline
+            .stages()
+            .iter()
+            .zip(targets)
+            .map(|(stage, &lanes)| StageConfig::new(Parallelism::for_target(stage, lanes)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcad_accel::{AcceleratorConfig, ConvStage, ElasticAccelerator};
+
+    fn pipeline() -> BranchPipeline {
+        BranchPipeline::new(
+            "texture-tail",
+            vec![
+                ConvStage::synthetic("conv6", 72, 32, 256, 256, 3, 2),
+                ConvStage::synthetic("conv7", 32, 16, 512, 512, 3, 2),
+                ConvStage::synthetic("conv8", 16, 3, 1024, 1024, 3, 1),
+            ],
+        )
+    }
+
+    fn evaluate(pipe: &BranchPipeline, cfg: &BranchConfig) -> fcad_accel::BranchReport {
+        pipe.evaluate(cfg, Precision::Int8, 200e6, &CostModel::default())
+            .expect("config matches pipeline")
+    }
+
+    #[test]
+    fn result_fits_the_budget() {
+        let pipe = pipeline();
+        let budget = ResourceBudget::new(800, 700, 8.0);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let cfg = optimizer.optimize(&budget, 1);
+        let report = evaluate(&pipe, &cfg);
+        assert!(report.usage.dsp <= budget.dsp, "dsp {}", report.usage.dsp);
+        assert!(report.usage.bram <= budget.bram, "bram {}", report.usage.bram);
+        assert!(report.usage.bandwidth_bytes_per_sec <= budget.bandwidth_bytes_per_sec);
+    }
+
+    #[test]
+    fn larger_budgets_yield_no_slower_designs() {
+        let pipe = pipeline();
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let small = evaluate(&pipe, &optimizer.optimize(&ResourceBudget::new(200, 300, 4.0), 1));
+        let large = evaluate(&pipe, &optimizer.optimize(&ResourceBudget::new(1600, 1200, 12.8), 1));
+        assert!(large.fps >= small.fps);
+        assert!(large.fps > 1.5 * small.fps, "large budget should clearly help");
+    }
+
+    #[test]
+    fn batch_two_halves_per_copy_resources_but_is_honored() {
+        let pipe = pipeline();
+        let budget = ResourceBudget::new(1000, 900, 12.8);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let cfg = optimizer.optimize(&budget, 2);
+        assert_eq!(cfg.batch_size, 2);
+        let report = evaluate(&pipe, &cfg);
+        assert!(report.usage.dsp <= budget.dsp);
+        assert_eq!(report.batch_size, 2);
+    }
+
+    #[test]
+    fn pipeline_is_roughly_load_balanced() {
+        let pipe = pipeline();
+        let budget = ResourceBudget::new(1200, 1000, 12.8);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let report = evaluate(&pipe, &optimizer.optimize(&budget, 1));
+        let latencies: Vec<u64> = report.stages.iter().map(|s| s.latency_cycles).collect();
+        let max = *latencies.iter().max().unwrap() as f64;
+        let min = *latencies.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 8.0,
+            "stage latencies too imbalanced: {latencies:?}"
+        );
+        // Efficiency of a balanced pipeline should be healthy.
+        assert!(report.efficiency > 0.5, "efficiency {}", report.efficiency);
+    }
+
+    #[test]
+    fn uses_h_partition_beyond_the_channel_limit() {
+        // With a generous budget, the few-channel HD stage (16->3 at 1024²)
+        // must exceed its 48-lane channel limit via H-partitioning —
+        // the capability DNNBuilder lacks.
+        let pipe = pipeline();
+        let budget = ResourceBudget::new(2400, 1800, 12.8);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let cfg = optimizer.optimize(&budget, 1);
+        let last = cfg.stages.last().unwrap().parallelism;
+        assert!(
+            last.h > 1,
+            "expected H-partitioning on the HD output stage, got {last}"
+        );
+        assert!(last.total() > 48);
+    }
+
+    #[test]
+    fn infeasible_budget_degrades_to_minimal_parallelism() {
+        let pipe = pipeline();
+        let tiny = ResourceBudget::new(3, 3, 0.001);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let cfg = optimizer.optimize(&tiny, 1);
+        assert!(cfg.stages.iter().all(|s| s.parallelism.total() <= 2));
+    }
+
+    #[test]
+    fn end_to_end_with_elastic_accelerator() {
+        let pipe = pipeline();
+        let budget = ResourceBudget::new(900, 800, 12.8);
+        let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
+        let cfg = optimizer.optimize(&budget, 1);
+        let acc = ElasticAccelerator::new("one-branch", vec![pipe.clone()], 200e6);
+        let report = acc
+            .evaluate(&AcceleratorConfig::new(vec![cfg], Precision::Int8))
+            .unwrap();
+        assert!(report.min_fps > 0.0);
+    }
+}

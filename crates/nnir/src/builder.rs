@@ -1,0 +1,390 @@
+//! Fluent construction of multi-branch networks.
+
+use crate::error::{Error, Result};
+use crate::graph::{Branch, BranchId, LayerId, Network};
+use crate::layer::{ActivationKind, BiasKind, ConvSpec, Layer, LayerKind, PoolKind};
+use crate::tensor::TensorShape;
+
+/// Builder for [`Network`]s.
+///
+/// Branches are declared first (either independent via [`add_branch`] or
+/// sharing a prefix via [`fork_branch`]), then layers are appended to a
+/// branch one at a time; output shapes are resolved incrementally so shape
+/// errors surface at the offending call.
+///
+/// ```
+/// use fcad_nnir::{ActivationKind, BiasKind, NetworkBuilder, TensorShape};
+///
+/// let mut b = NetworkBuilder::new("tiny-decoder");
+/// let geometry = b.add_branch("geometry", TensorShape::chw(4, 8, 8));
+/// b.conv(geometry, 16, 3, BiasKind::PerChannel)?;
+/// b.activation(geometry, ActivationKind::LeakyRelu)?;
+/// b.upsample(geometry, 2)?;
+/// b.conv(geometry, 3, 3, BiasKind::Untied)?;
+/// let net = b.build()?;
+/// assert_eq!(net.branch_count(), 1);
+/// # Ok::<(), fcad_nnir::Error>(())
+/// ```
+///
+/// [`add_branch`]: NetworkBuilder::add_branch
+/// [`fork_branch`]: NetworkBuilder::fork_branch
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    layers: Vec<Layer>,
+    branches: Vec<Branch>,
+}
+
+impl NetworkBuilder {
+    /// Starts building a network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+            branches: Vec::new(),
+        }
+    }
+
+    /// Declares a new independent branch with the given input shape and
+    /// returns its id.
+    pub fn add_branch(&mut self, name: impl Into<String>, input: TensorShape) -> BranchId {
+        let id = BranchId(self.branches.len());
+        self.branches.push(Branch {
+            name: name.into(),
+            input,
+            layers: Vec::new(),
+            fork_of: None,
+        });
+        id
+    }
+
+    /// Declares a new branch that shares every layer added to `parent` *so
+    /// far* as its front part, then continues independently.
+    ///
+    /// This models the targeted decoder, whose texture and warp-field
+    /// branches share their first up-sampling blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownId`] when `parent` was not created by this
+    /// builder.
+    pub fn fork_branch(&mut self, name: impl Into<String>, parent: BranchId) -> Result<BranchId> {
+        let parent_branch = self
+            .branches
+            .get(parent.0)
+            .ok_or_else(|| Error::UnknownId {
+                what: format!("{parent} passed to fork_branch"),
+            })?;
+        let shared = parent_branch.layers.clone();
+        let prefix_len = shared.len();
+        let input = parent_branch.input;
+        let id = BranchId(self.branches.len());
+        self.branches.push(Branch {
+            name: name.into(),
+            input,
+            layers: shared,
+            fork_of: Some((parent, prefix_len)),
+        });
+        Ok(id)
+    }
+
+    /// Current output shape of a branch (input shape when it has no layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownId`] when the branch does not exist.
+    pub fn current_shape(&self, branch: BranchId) -> Result<TensorShape> {
+        let b = self.branches.get(branch.0).ok_or_else(|| Error::UnknownId {
+            what: format!("{branch} passed to current_shape"),
+        })?;
+        Ok(match b.layers.last() {
+            Some(last) => self.layers[last.0].output_shape(),
+            None => b.input,
+        })
+    }
+
+    /// Appends an arbitrary layer to `branch`, auto-generating a name of the
+    /// form `<branch>/<kind><index>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape or configuration errors from [`Layer::new`] and
+    /// [`Error::UnknownId`] for unknown branches.
+    pub fn push_layer(&mut self, branch: BranchId, kind: LayerKind) -> Result<LayerId> {
+        let branch_name = self
+            .branches
+            .get(branch.0)
+            .ok_or_else(|| Error::UnknownId {
+                what: format!("{branch} passed to push_layer"),
+            })?
+            .name
+            .clone();
+        let index = self.branches[branch.0].layers.len();
+        let kind_tag = match kind {
+            LayerKind::Conv(_) => "conv",
+            LayerKind::Dense { .. } => "fc",
+            LayerKind::Activation(_) => "act",
+            LayerKind::Upsample { .. } => "up",
+            LayerKind::Pool { .. } => "pool",
+            LayerKind::Reshape { .. } => "reshape",
+        };
+        let name = format!("{branch_name}/{kind_tag}{index}");
+        self.push_named_layer(branch, name, kind)
+    }
+
+    /// Appends a layer with an explicit name to `branch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape or configuration errors from [`Layer::new`] and
+    /// [`Error::UnknownId`] for unknown branches.
+    pub fn push_named_layer(
+        &mut self,
+        branch: BranchId,
+        name: impl Into<String>,
+        kind: LayerKind,
+    ) -> Result<LayerId> {
+        let input = self.current_shape(branch)?;
+        let layer = Layer::new(name, kind, input)?;
+        let id = LayerId(self.layers.len());
+        self.layers.push(layer);
+        self.branches[branch.0].layers.push(id);
+        Ok(id)
+    }
+
+    /// Appends a same-padded stride-1 convolution.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn conv(
+        &mut self,
+        branch: BranchId,
+        out_channels: usize,
+        kernel: usize,
+        bias: BiasKind,
+    ) -> Result<LayerId> {
+        self.push_layer(branch, LayerKind::Conv(ConvSpec::same(out_channels, kernel, bias)))
+    }
+
+    /// Appends a strided convolution.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn conv_strided(
+        &mut self,
+        branch: BranchId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: BiasKind,
+    ) -> Result<LayerId> {
+        self.push_layer(
+            branch,
+            LayerKind::Conv(ConvSpec::strided(out_channels, kernel, stride, padding, bias)),
+        )
+    }
+
+    /// Appends a fully-connected layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn dense(
+        &mut self,
+        branch: BranchId,
+        out_features: usize,
+        bias: BiasKind,
+    ) -> Result<LayerId> {
+        self.push_layer(branch, LayerKind::Dense { out_features, bias })
+    }
+
+    /// Appends an element-wise activation.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn activation(&mut self, branch: BranchId, kind: ActivationKind) -> Result<LayerId> {
+        self.push_layer(branch, LayerKind::Activation(kind))
+    }
+
+    /// Appends a nearest-neighbour up-sampling layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn upsample(&mut self, branch: BranchId, factor: usize) -> Result<LayerId> {
+        self.push_layer(branch, LayerKind::Upsample { factor })
+    }
+
+    /// Appends a max-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn max_pool(&mut self, branch: BranchId, kernel: usize, stride: usize) -> Result<LayerId> {
+        self.push_layer(
+            branch,
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel,
+                stride,
+            },
+        )
+    }
+
+    /// Appends a reshape layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn reshape(&mut self, branch: BranchId, target: TensorShape) -> Result<LayerId> {
+        self.push_layer(branch, LayerKind::Reshape { target })
+    }
+
+    /// Appends the decoder's repeating `[Conv → LeakyReLU → Upsample×2]`
+    /// block and returns the id of the convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`push_layer`](Self::push_layer).
+    pub fn cau_block(
+        &mut self,
+        branch: BranchId,
+        out_channels: usize,
+        kernel: usize,
+        bias: BiasKind,
+    ) -> Result<LayerId> {
+        let conv = self.conv(branch, out_channels, kernel, bias)?;
+        self.activation(branch, ActivationKind::LeakyRelu)?;
+        self.upsample(branch, 2)?;
+        Ok(conv)
+    }
+
+    /// Finalizes the network and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidNetwork`] when validation fails (empty
+    /// branches, duplicate names, inconsistent shapes, broken fork prefixes).
+    pub fn build(self) -> Result<Network> {
+        let net = Network {
+            name: self.name,
+            layers: self.layers,
+            branches: self.branches,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_shapes() {
+        let mut b = NetworkBuilder::new("chain");
+        let br = b.add_branch("main", TensorShape::chw(4, 8, 8));
+        b.conv(br, 16, 3, BiasKind::PerChannel).unwrap();
+        assert_eq!(b.current_shape(br).unwrap(), TensorShape::chw(16, 8, 8));
+        b.upsample(br, 2).unwrap();
+        assert_eq!(b.current_shape(br).unwrap(), TensorShape::chw(16, 16, 16));
+        let net = b.build().unwrap();
+        assert_eq!(net.layer_count(), 2);
+    }
+
+    #[test]
+    fn fork_shares_existing_layers_only() {
+        let mut b = NetworkBuilder::new("fork");
+        let parent = b.add_branch("parent", TensorShape::chw(7, 8, 8));
+        b.conv(parent, 8, 3, BiasKind::PerChannel).unwrap();
+        b.upsample(parent, 2).unwrap();
+        let child = b.fork_branch("child", parent).unwrap();
+        // Layers added to the parent after the fork are not shared.
+        b.conv(parent, 16, 3, BiasKind::PerChannel).unwrap();
+        b.conv(child, 4, 3, BiasKind::PerChannel).unwrap();
+        let net = b.build().unwrap();
+        let (pid, pb) = net.branch_by_name("parent").unwrap();
+        let (cid, cb) = net.branch_by_name("child").unwrap();
+        assert_eq!(pb.len(), 3);
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.shared_prefix_len(), 2);
+        assert_eq!(net.shared_layer_ids().len(), 2);
+        assert_eq!(
+            net.branch_output_shape(pid),
+            Some(TensorShape::chw(16, 16, 16))
+        );
+        assert_eq!(
+            net.branch_output_shape(cid),
+            Some(TensorShape::chw(4, 16, 16))
+        );
+    }
+
+    #[test]
+    fn cau_block_expands_to_three_layers() {
+        let mut b = NetworkBuilder::new("cau");
+        let br = b.add_branch("main", TensorShape::chw(4, 8, 8));
+        b.cau_block(br, 32, 3, BiasKind::PerChannel).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.layer_count(), 3);
+        let (id, _) = net.branch_by_name("main").unwrap();
+        assert_eq!(
+            net.branch_output_shape(id),
+            Some(TensorShape::chw(32, 16, 16))
+        );
+    }
+
+    #[test]
+    fn unknown_branch_is_reported() {
+        let mut b = NetworkBuilder::new("bad");
+        let br = b.add_branch("main", TensorShape::chw(4, 8, 8));
+        let mut other = NetworkBuilder::new("other");
+        let foreign = other.add_branch("x", TensorShape::chw(1, 1, 1));
+        let _ = br;
+        // `foreign` has index 0 too, so craft an out-of-range id instead.
+        let bogus = BranchId(7);
+        assert!(matches!(
+            b.conv(bogus, 8, 3, BiasKind::None),
+            Err(Error::UnknownId { .. })
+        ));
+        assert!(matches!(
+            b.fork_branch("y", bogus),
+            Err(Error::UnknownId { .. })
+        ));
+        let _ = foreign;
+    }
+
+    #[test]
+    fn shape_error_points_at_offending_layer() {
+        let mut b = NetworkBuilder::new("bad-shape");
+        let br = b.add_branch("main", TensorShape::chw(4, 4, 4));
+        let err = b
+            .conv_strided(br, 8, 9, 1, 0, BiasKind::None)
+            .expect_err("kernel larger than input must fail");
+        assert!(matches!(err, Error::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_branch_fails_build() {
+        let mut b = NetworkBuilder::new("empty");
+        b.add_branch("main", TensorShape::chw(4, 8, 8));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builds_with_explicit_layer_names() {
+        let mut b = NetworkBuilder::new("named");
+        let br = b.add_branch("main", TensorShape::chw(4, 8, 8));
+        b.push_named_layer(
+            br,
+            "my_conv",
+            LayerKind::Conv(ConvSpec::same(8, 3, BiasKind::None)),
+        )
+        .unwrap();
+        let net = b.build().unwrap();
+        assert!(net.layers().any(|(_, l)| l.name() == "my_conv"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by all IR-construction APIs.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing or validating a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A layer was asked to process an input shape it cannot accept.
+    ShapeMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+    /// A layer configuration is internally inconsistent (zero channels,
+    /// zero-sized kernel, stride of zero, ...).
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+    /// A [`crate::BranchId`] or [`crate::LayerId`] does not belong to the
+    /// network or builder it was used with.
+    UnknownId {
+        /// Description of the id that was not found.
+        what: String,
+    },
+    /// The network failed whole-graph validation.
+    InvalidNetwork {
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { layer, reason } => {
+                write!(f, "shape mismatch at layer `{layer}`: {reason}")
+            }
+            Error::InvalidLayer { layer, reason } => {
+                write!(f, "invalid layer `{layer}`: {reason}")
+            }
+            Error::UnknownId { what } => write!(f, "unknown id: {what}"),
+            Error::InvalidNetwork { reason } => write!(f, "invalid network: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = Error::ShapeMismatch {
+            layer: "conv1".to_owned(),
+            reason: "expected 3 channels, got 4".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("conv1"));
+        assert!(text.contains("expected 3 channels"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,48 @@
+//! Multi-branch DNN intermediate representation (IR) for the F-CAD reproduction.
+//!
+//! F-CAD (Zhang et al., DAC 2021) explores hardware accelerators for *codec
+//! avatar decoders*: multi-branch deconvolution-style networks whose branches
+//! generate different components of a photo-realistic VR avatar (mesh
+//! vertices, view-dependent texture, warp field). This crate provides the
+//! network representation that every other crate in the workspace consumes:
+//!
+//! * [`TensorShape`] and [`Precision`] — feature-map geometry and numeric
+//!   formats (8-bit / 16-bit fixed point, fp32 reference).
+//! * [`Layer`] and [`LayerKind`] — convolution (including the paper's
+//!   *customized Conv with untied bias*), dense, activation, up-sampling,
+//!   pooling and reshape layers, each knowing its own op/parameter cost.
+//! * [`Network`], [`Branch`] and [`NetworkBuilder`] — a branch-structured
+//!   graph in which branches may share a common front part, exactly like
+//!   branches 2 and 3 of the targeted decoder.
+//! * [`models`] — the model zoo used throughout the paper's evaluation: the
+//!   targeted decoder (Table I), the "mimic" decoder used for the baseline
+//!   tools, and the classic single-branch benchmarks of Fig. 6/7 (AlexNet,
+//!   ZFNet, VGG16, Tiny-YOLO).
+//!
+//! # Example
+//!
+//! ```
+//! use fcad_nnir::models::targeted_decoder;
+//!
+//! let decoder = targeted_decoder();
+//! assert_eq!(decoder.branch_count(), 3);
+//! // Roughly 13.6 GOP as reported in Table I of the paper.
+//! let gop = decoder.total_ops() as f64 / 1e9;
+//! assert!(gop > 10.0 && gop < 17.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod layer;
+pub mod models;
+mod tensor;
+
+pub use builder::NetworkBuilder;
+pub use error::{Error, Result};
+pub use graph::{Branch, BranchId, LayerId, Network};
+pub use layer::{ActivationKind, BiasKind, ConvSpec, Layer, LayerKind, PoolKind};
+pub use tensor::{Precision, TensorShape};

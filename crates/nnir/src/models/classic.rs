@@ -1,0 +1,166 @@
+//! Classic single-branch benchmark networks (AlexNet, ZFNet, VGG16,
+//! Tiny-YOLO).
+//!
+//! Section VI-B.3 of the paper validates the analytical performance model on
+//! these four networks at 16-bit and 8-bit precision (Figs. 6 and 7). The
+//! configurations below follow the standard published architectures; minor
+//! spatial-size differences from the originals (due to padding conventions)
+//! do not affect their role here, which is to exercise the estimator on
+//! realistic layer mixes.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{ActivationKind, BiasKind};
+use crate::tensor::TensorShape;
+
+/// AlexNet (ImageNet classification, 227×227 input).
+pub fn alexnet() -> Network {
+    let mut b = NetworkBuilder::new("alexnet");
+    let m = b.add_branch("main", TensorShape::chw(3, 227, 227));
+    b.conv_strided(m, 96, 11, 4, 0, BiasKind::PerChannel).expect("conv1");
+    b.activation(m, ActivationKind::Relu).expect("relu1");
+    b.max_pool(m, 3, 2).expect("pool1");
+    b.conv_strided(m, 256, 5, 1, 2, BiasKind::PerChannel).expect("conv2");
+    b.activation(m, ActivationKind::Relu).expect("relu2");
+    b.max_pool(m, 3, 2).expect("pool2");
+    b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv3");
+    b.activation(m, ActivationKind::Relu).expect("relu3");
+    b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv4");
+    b.activation(m, ActivationKind::Relu).expect("relu4");
+    b.conv(m, 256, 3, BiasKind::PerChannel).expect("conv5");
+    b.activation(m, ActivationKind::Relu).expect("relu5");
+    b.max_pool(m, 3, 2).expect("pool5");
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc6");
+    b.activation(m, ActivationKind::Relu).expect("relu6");
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc7");
+    b.activation(m, ActivationKind::Relu).expect("relu7");
+    b.dense(m, 1000, BiasKind::PerChannel).expect("fc8");
+    b.build().expect("alexnet is statically valid")
+}
+
+/// ZFNet (AlexNet refinement with a 7×7 stride-2 first layer, 224×224 input).
+pub fn zfnet() -> Network {
+    let mut b = NetworkBuilder::new("zfnet");
+    let m = b.add_branch("main", TensorShape::chw(3, 224, 224));
+    b.conv_strided(m, 96, 7, 2, 1, BiasKind::PerChannel).expect("conv1");
+    b.activation(m, ActivationKind::Relu).expect("relu1");
+    b.max_pool(m, 3, 2).expect("pool1");
+    b.conv_strided(m, 256, 5, 2, 0, BiasKind::PerChannel).expect("conv2");
+    b.activation(m, ActivationKind::Relu).expect("relu2");
+    b.max_pool(m, 3, 2).expect("pool2");
+    b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv3");
+    b.activation(m, ActivationKind::Relu).expect("relu3");
+    b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv4");
+    b.activation(m, ActivationKind::Relu).expect("relu4");
+    b.conv(m, 256, 3, BiasKind::PerChannel).expect("conv5");
+    b.activation(m, ActivationKind::Relu).expect("relu5");
+    b.max_pool(m, 3, 2).expect("pool5");
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc6");
+    b.activation(m, ActivationKind::Relu).expect("relu6");
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc7");
+    b.activation(m, ActivationKind::Relu).expect("relu7");
+    b.dense(m, 1000, BiasKind::PerChannel).expect("fc8");
+    b.build().expect("zfnet is statically valid")
+}
+
+/// VGG16 (224×224 input).
+pub fn vgg16() -> Network {
+    let mut b = NetworkBuilder::new("vgg16");
+    let m = b.add_branch("main", TensorShape::chw(3, 224, 224));
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (channels, convs) in stages {
+        for _ in 0..convs {
+            b.conv(m, channels, 3, BiasKind::PerChannel).expect("vgg conv");
+            b.activation(m, ActivationKind::Relu).expect("vgg relu");
+        }
+        b.max_pool(m, 2, 2).expect("vgg pool");
+    }
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc6");
+    b.activation(m, ActivationKind::Relu).expect("relu6");
+    b.dense(m, 4096, BiasKind::PerChannel).expect("fc7");
+    b.activation(m, ActivationKind::Relu).expect("relu7");
+    b.dense(m, 1000, BiasKind::PerChannel).expect("fc8");
+    b.build().expect("vgg16 is statically valid")
+}
+
+/// Tiny-YOLO (v2-style detector, 416×416 input).
+pub fn tiny_yolo() -> Network {
+    let mut b = NetworkBuilder::new("tiny-yolo");
+    let m = b.add_branch("main", TensorShape::chw(3, 416, 416));
+    let downsampled: [usize; 5] = [16, 32, 64, 128, 256];
+    for channels in downsampled {
+        b.conv(m, channels, 3, BiasKind::PerChannel).expect("yolo conv");
+        b.activation(m, ActivationKind::LeakyRelu).expect("yolo act");
+        b.max_pool(m, 2, 2).expect("yolo pool");
+    }
+    b.conv(m, 512, 3, BiasKind::PerChannel).expect("conv6");
+    b.activation(m, ActivationKind::LeakyRelu).expect("act6");
+    b.max_pool(m, 2, 1).expect("pool6");
+    b.conv(m, 1024, 3, BiasKind::PerChannel).expect("conv7");
+    b.activation(m, ActivationKind::LeakyRelu).expect("act7");
+    b.conv(m, 1024, 3, BiasKind::PerChannel).expect("conv8");
+    b.activation(m, ActivationKind::LeakyRelu).expect("act8");
+    b.conv_strided(m, 125, 1, 1, 0, BiasKind::PerChannel).expect("conv9");
+    b.build().expect("tiny-yolo is statically valid")
+}
+
+/// The four single-branch benchmarks used by Figs. 6 and 7, in the paper's
+/// order.
+pub fn classic_benchmarks() -> Vec<Network> {
+    vec![alexnet(), zfnet(), vgg16(), tiny_yolo()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_are_single_branch_and_valid() {
+        for net in classic_benchmarks() {
+            assert_eq!(net.branch_count(), 1, "{} must be single branch", net.name());
+            assert!(net.validate().is_ok(), "{} must validate", net.name());
+        }
+    }
+
+    #[test]
+    fn alexnet_compute_is_in_expected_range() {
+        let net = alexnet();
+        let gop = net.total_ops() as f64 / 1e9;
+        // AlexNet without grouped convolutions is ~2.3 GOP (2 ops/MAC) and
+        // ~62 M parameters.
+        assert!(gop > 1.5 && gop < 3.0, "alexnet GOP {gop}");
+        let mparams = net.total_params() as f64 / 1e6;
+        assert!(mparams > 50.0 && mparams < 70.0, "alexnet params {mparams}M");
+    }
+
+    #[test]
+    fn vgg16_compute_is_in_expected_range() {
+        let net = vgg16();
+        let gop = net.total_ops() as f64 / 1e9;
+        // VGG16 is ~31 GOP (2 ops/MAC) and ~138 M parameters.
+        assert!(gop > 25.0 && gop < 36.0, "vgg16 GOP {gop}");
+        let mparams = net.total_params() as f64 / 1e6;
+        assert!(mparams > 120.0 && mparams < 150.0, "vgg16 params {mparams}M");
+    }
+
+    #[test]
+    fn tiny_yolo_spatial_chain_reaches_13x13() {
+        let net = tiny_yolo();
+        let (id, _) = net.branch_by_name("main").unwrap();
+        let out = net.branch_output_shape(id).unwrap();
+        assert_eq!(out.channels, 125);
+        assert_eq!(out.height, out.width);
+        assert!(out.height == 12 || out.height == 13, "got {}", out.height);
+    }
+
+    #[test]
+    fn zfnet_first_layer_keeps_finer_resolution_than_alexnet() {
+        // ZFNet's 7x7 stride-2 first layer preserves roughly twice the
+        // spatial resolution of AlexNet's 11x11 stride-4 layer.
+        let zf = zfnet();
+        let alex = alexnet();
+        let zf_conv1 = zf.layers().find(|(_, l)| l.macs() > 0).unwrap().1;
+        let alex_conv1 = alex.layers().find(|(_, l)| l.macs() > 0).unwrap().1;
+        assert!(zf_conv1.output_shape().height > alex_conv1.output_shape().height);
+    }
+}

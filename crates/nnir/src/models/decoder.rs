@@ -1,0 +1,236 @@
+//! The targeted codec avatar decoder (Table I of the paper) and its "mimic"
+//! variant.
+//!
+//! The paper specifies the decoder at block granularity only: branch 1 is
+//! `[CAU]×5 + C`, branches 2 and 3 share a front part and produce a
+//! 3×1024×1024 view-dependent texture and a 2×256×256 warp field, and the
+//! whole decoder totals 13.6 GOP and 7.2 M parameters. Per-layer channel
+//! widths are not published, so this module uses a calibrated channel
+//! schedule (documented in `DESIGN.md`) chosen such that
+//!
+//! * the deduplicated totals match Table I within ~1 % (≈13.5 GOP, ≈7.2 M
+//!   parameters),
+//! * branch 2 — the critical texture branch — matches its published 11.3 GOP
+//!   and ≈6 M parameters,
+//! * the late branch-2 layers have few channels at HD resolutions (a 16 →
+//!   16-channel Conv at 512×512 and a 16-channel 1024×1024 intermediate
+//!   map), which is what makes existing accelerators run out of
+//!   parallelism (Sec. III, Fig. 3).
+//!
+//! Branch 1 and branch 3 individually land within ~10 % / ~50 % of their
+//! published GOP / parameter rows; the residual is absorbed by the shared
+//! front (see the substitution notes in `DESIGN.md`).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::BiasKind;
+use crate::tensor::TensorShape;
+
+/// Names of the decoder branches in Table I order.
+pub const DECODER_BRANCH_NAMES: [&str; 3] = ["geometry", "texture", "warp"];
+
+/// Channel schedule of branch 1 (facial geometry): five `[Conv→LeakyReLU→Up]`
+/// blocks from 8×8 to 256×256.
+const BR1_CHANNELS: [usize; 5] = [320, 224, 128, 64, 24];
+
+/// Channel schedule of the front part shared by branches 2 and 3: five
+/// blocks from 8×8 to 256×256.
+const SHARED_CHANNELS: [usize; 5] = [896, 256, 160, 104, 72];
+
+/// Channel schedule of branch 2's own tail: two more blocks (256→512→1024)
+/// before the final customized Conv.
+const BR2_TAIL_CHANNELS: [usize; 2] = [32, 16];
+
+fn build_decoder(output_bias: BiasKind) -> Network {
+    let mut b = NetworkBuilder::new(match output_bias {
+        BiasKind::Untied => "codec-avatar-decoder",
+        _ => "codec-avatar-decoder-mimic",
+    });
+
+    // Branch 1: facial geometry (mesh vertices rendered as a 3×256×256 map).
+    // The 256-d latent code is reshaped to [4, 8, 8].
+    let geometry = b.add_branch(DECODER_BRANCH_NAMES[0], TensorShape::flat(256));
+    b.reshape(geometry, TensorShape::chw(4, 8, 8))
+        .expect("256 latent elements reshape to 4x8x8");
+    for &ch in &BR1_CHANNELS {
+        b.cau_block(geometry, ch, 3, BiasKind::PerChannel)
+            .expect("branch 1 CAU block");
+    }
+    b.conv(geometry, 3, 3, output_bias)
+        .expect("branch 1 output conv");
+
+    // Branches 2 and 3 consume the latent code concatenated with the view
+    // code, reshaped to [7, 8, 8]; they share their first five blocks.
+    let texture = b.add_branch(DECODER_BRANCH_NAMES[1], TensorShape::flat(448));
+    b.reshape(texture, TensorShape::chw(7, 8, 8))
+        .expect("448 latent+view elements reshape to 7x8x8");
+    for &ch in &SHARED_CHANNELS {
+        b.cau_block(texture, ch, 3, BiasKind::PerChannel)
+            .expect("shared CAU block");
+    }
+    let warp = b
+        .fork_branch(DECODER_BRANCH_NAMES[2], texture)
+        .expect("texture branch exists");
+
+    // Branch 2 own tail: two more CAU blocks up to 1024×1024, then the final
+    // customized Conv producing the 3-channel HD texture.
+    for &ch in &BR2_TAIL_CHANNELS {
+        b.cau_block(texture, ch, 3, BiasKind::PerChannel)
+            .expect("branch 2 tail CAU block");
+    }
+    b.conv(texture, 3, 3, output_bias)
+        .expect("branch 2 output conv");
+
+    // Branch 3 own tail: the final customized Conv producing the 2-channel
+    // warp field at 256×256.
+    b.conv(warp, 2, 3, output_bias)
+        .expect("branch 3 output conv");
+
+    b.build().expect("decoder structure is statically valid")
+}
+
+/// The targeted codec avatar decoder of Table I: three branches (geometry,
+/// view-dependent texture, warp field), customized Conv with untied bias on
+/// each branch output.
+///
+/// ```
+/// use fcad_nnir::models::targeted_decoder;
+///
+/// let decoder = targeted_decoder();
+/// assert_eq!(decoder.branch_count(), 3);
+/// assert!(decoder.shared_layer_ids().len() > 0);
+/// ```
+pub fn targeted_decoder() -> Network {
+    build_decoder(BiasKind::Untied)
+}
+
+/// The "mimic" decoder of Sec. III: identical structure with the customized
+/// Conv (untied bias) replaced by conventional Conv (per-channel bias), used
+/// to evaluate DNNBuilder and HybridDNN which do not support the customized
+/// layer.
+///
+/// ```
+/// use fcad_nnir::models::{mimic_decoder, targeted_decoder};
+///
+/// let real = targeted_decoder();
+/// let mimic = mimic_decoder();
+/// assert!(mimic.total_params() < real.total_params());
+/// // Structure is unchanged.
+/// assert_eq!(mimic.layer_count(), real.layer_count());
+/// ```
+pub fn mimic_decoder() -> Network {
+    build_decoder(BiasKind::PerChannel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BranchId;
+
+    fn gop(ops: u64) -> f64 {
+        ops as f64 / 1e9
+    }
+
+    fn mparams(params: u64) -> f64 {
+        params as f64 / 1e6
+    }
+
+    #[test]
+    fn decoder_has_three_branches_with_table1_outputs() {
+        let net = targeted_decoder();
+        assert_eq!(net.branch_count(), 3);
+        assert_eq!(
+            net.branch_output_shape(BranchId(0)),
+            Some(TensorShape::chw(3, 256, 256))
+        );
+        assert_eq!(
+            net.branch_output_shape(BranchId(1)),
+            Some(TensorShape::chw(3, 1024, 1024))
+        );
+        assert_eq!(
+            net.branch_output_shape(BranchId(2)),
+            Some(TensorShape::chw(2, 256, 256))
+        );
+    }
+
+    #[test]
+    fn decoder_totals_match_table1() {
+        let net = targeted_decoder();
+        let total_gop = gop(net.total_ops());
+        let total_mparams = mparams(net.total_params());
+        // Paper: 13.6 GOP, 7.2 M parameters (deduplicated).
+        assert!(
+            (total_gop - 13.6).abs() / 13.6 < 0.05,
+            "total GOP {total_gop:.2} deviates more than 5% from 13.6"
+        );
+        assert!(
+            (total_mparams - 7.2).abs() / 7.2 < 0.05,
+            "total params {total_mparams:.2}M deviates more than 5% from 7.2M"
+        );
+    }
+
+    #[test]
+    fn texture_branch_matches_its_table1_row() {
+        let net = targeted_decoder();
+        let (texture, _) = net.branch_by_name("texture").unwrap();
+        let branch_gop = gop(net.branch_ops(texture));
+        let branch_mparams = mparams(net.branch_params(texture));
+        // Paper row: 11.3 GOP, 6.1 M parameters.
+        assert!(
+            (branch_gop - 11.3).abs() / 11.3 < 0.08,
+            "texture branch GOP {branch_gop:.2} deviates more than 8% from 11.3"
+        );
+        assert!(
+            (branch_mparams - 6.1).abs() / 6.1 < 0.10,
+            "texture branch params {branch_mparams:.2}M deviates more than 10% from 6.1M"
+        );
+    }
+
+    #[test]
+    fn texture_branch_dominates_compute() {
+        let net = targeted_decoder();
+        let (texture, _) = net.branch_by_name("texture").unwrap();
+        let double_counted: u64 = net.branch_ids().map(|id| net.branch_ops(id)).sum();
+        let share = net.branch_ops(texture) as f64 / double_counted as f64;
+        // Paper: 62.4% of (double-counted) operations are in branch 2.
+        assert!(
+            (share - 0.624).abs() < 0.05,
+            "texture branch holds {share:.3} of ops, expected ~0.624"
+        );
+    }
+
+    #[test]
+    fn hd_intermediate_feature_map_is_16x1024x1024() {
+        let net = targeted_decoder();
+        // The paper highlights intermediate maps up to 16x1024x1024.
+        assert_eq!(net.max_intermediate_elements(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn branches_two_and_three_share_a_front_part() {
+        let net = targeted_decoder();
+        let (_, warp) = net.branch_by_name("warp").unwrap();
+        assert!(warp.shared_prefix_len() > 0);
+        // Shared prefix: reshape + 5 CAU blocks of 3 layers each.
+        assert_eq!(warp.shared_prefix_len(), 1 + 5 * 3);
+    }
+
+    #[test]
+    fn mimic_decoder_is_structurally_identical_but_lighter() {
+        let real = targeted_decoder();
+        let mimic = mimic_decoder();
+        assert_eq!(real.branch_count(), mimic.branch_count());
+        assert_eq!(real.layer_count(), mimic.layer_count());
+        // Removing the untied biases removes millions of parameters...
+        assert!(real.total_params() > mimic.total_params() + 3_000_000);
+        // ...but barely changes the operation count (paper: "3.7% less").
+        let rel = (real.total_ops() as f64 - mimic.total_ops() as f64) / real.total_ops() as f64;
+        assert!(rel.abs() < 0.05);
+    }
+
+    #[test]
+    fn decoder_validates() {
+        assert!(targeted_decoder().validate().is_ok());
+        assert!(mimic_decoder().validate().is_ok());
+    }
+}

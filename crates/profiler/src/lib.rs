@@ -1,0 +1,35 @@
+//! Network profiler — the *Analysis* step of the F-CAD design flow.
+//!
+//! Given a [`fcad_nnir::Network`], the profiler extracts the layer-wise and
+//! branch-wise information the rest of the flow needs (Sec. IV of the
+//! paper): layer types and configurations, branch count, layers per branch,
+//! layer dependencies, and the compute and memory demand of every layer and
+//! branch. Its output drives
+//!
+//! * the Construction step (which layers are major vs. fusible, which branch
+//!   is the critical flow of a shared front part),
+//! * the Optimization step (per-layer op counts and weight-reuse figures for
+//!   Algorithm 2, per-branch demand statistics for Algorithm 1), and
+//! * the Table I reproduction in the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use fcad_nnir::models::targeted_decoder;
+//! use fcad_profiler::NetworkProfile;
+//!
+//! let profile = NetworkProfile::of(&targeted_decoder());
+//! assert_eq!(profile.branches().len(), 3);
+//! println!("{}", profile.table());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+mod profile;
+mod report;
+
+pub use memory::MemoryFootprint;
+pub use profile::{BranchProfile, LayerProfile, NetworkProfile};
+pub use report::Table;

@@ -1,0 +1,45 @@
+//! Codec-avatar scenario: generate the five accelerators of Table IV (three
+//! FPGAs × 8/16-bit) for the targeted decoder with the VR customization
+//! (batch sizes {1, 2, 2}: one HD texture and one warp field per eye, a
+//! single shared facial geometry).
+//!
+//! Run with: `cargo run --release --example avatar_decoder_dse`
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_nnir::models::targeted_decoder;
+use fcad_nnir::Precision;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases: [(&str, Platform, Precision); 5] = [
+        ("Case 1: Z7045 (8-bit)", Platform::z7045(), Precision::Int8),
+        ("Case 2: ZU17EG (8-bit)", Platform::zu17eg(), Precision::Int8),
+        ("Case 3: ZU17EG (16-bit)", Platform::zu17eg(), Precision::Int16),
+        ("Case 4: ZU9CG (8-bit)", Platform::zu9cg(), Precision::Int8),
+        ("Case 5: ZU9CG (16-bit)", Platform::zu9cg(), Precision::Int16),
+    ];
+
+    for (name, platform, precision) in cases {
+        let result = Fcad::new(targeted_decoder(), platform.clone())
+            .with_customization(Customization::codec_avatar(precision))
+            .with_dse_params(DseParams::paper())
+            .run()?;
+        println!(
+            "{}",
+            fcad::render_case_table(
+                &format!(
+                    "{name} — budget {} DSPs, {} BRAMs",
+                    platform.budget().dsp,
+                    platform.budget().bram
+                ),
+                &result
+            )
+        );
+        let vr_ready = result.min_fps() >= 90.0;
+        println!(
+            "  VR-ready (>= 90 FPS): {}\n",
+            if vr_ready { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Baseline comparison: the mobile SoC, DNNBuilder and HybridDNN against
+//! F-CAD on the same ZU9CG FPGA (the Table II + Table V story).
+//!
+//! Run with: `cargo run --release --example baseline_comparison`
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_baselines::{DnnBuilder, HybridDnn, MobileSoc};
+use fcad_nnir::models::{mimic_decoder, targeted_decoder};
+use fcad_nnir::Precision;
+use fcad_profiler::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::zu9cg();
+    let mut table = Table::new(vec![
+        "Accelerator".to_owned(),
+        "Precision".to_owned(),
+        "DSP".to_owned(),
+        "BRAM".to_owned(),
+        "FPS".to_owned(),
+        "Efficiency".to_owned(),
+    ]);
+
+    // Existing accelerators run the mimic decoder (they do not support the
+    // customized Conv); the SoC runs the real decoder.
+    let soc = MobileSoc::snapdragon865().evaluate(&targeted_decoder(), Precision::Int8);
+    table.add_row(vec![
+        "Snapdragon-865-class SoC".into(),
+        "8-bit".into(),
+        format!("{} MACs", soc.dsp),
+        "-".into(),
+        format!("{:.1}", soc.fps),
+        format!("{:.1}%", soc.efficiency * 100.0),
+    ]);
+
+    let dnnbuilder = DnnBuilder::new(platform.clone(), Precision::Int8).evaluate(&mimic_decoder());
+    table.add_row(vec![
+        "DNNBuilder-style".into(),
+        "8-bit".into(),
+        dnnbuilder.dsp.to_string(),
+        dnnbuilder.bram.to_string(),
+        format!("{:.1}", dnnbuilder.fps),
+        format!("{:.1}%", dnnbuilder.efficiency * 100.0),
+    ]);
+
+    let hybrid = HybridDnn::new(platform.clone()).evaluate(&mimic_decoder());
+    table.add_row(vec![
+        "HybridDNN-style".into(),
+        "16-bit".into(),
+        hybrid.dsp.to_string(),
+        hybrid.bram.to_string(),
+        format!("{:.1}", hybrid.fps),
+        format!("{:.1}%", hybrid.efficiency * 100.0),
+    ]);
+
+    // F-CAD with uniform batch 1 for a fair comparison (as in Table V).
+    for precision in [Precision::Int8, Precision::Int16] {
+        let result = Fcad::new(targeted_decoder(), platform.clone())
+            .with_customization(Customization::uniform(3, precision))
+            .with_dse_params(DseParams::paper())
+            .run()?;
+        table.add_row(vec![
+            "F-CAD".into(),
+            precision.to_string(),
+            result.report().total_usage.dsp.to_string(),
+            result.report().total_usage.bram.to_string(),
+            format!("{:.1}", result.min_fps()),
+            format!("{:.1}%", result.efficiency() * 100.0),
+        ]);
+        let speedup = result.min_fps() / dnnbuilder.fps;
+        println!(
+            "F-CAD ({precision}) delivers {speedup:.1}x the DNNBuilder throughput on the same FPGA"
+        );
+    }
+
+    println!("\n{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Building a custom multi-branch decoder with the IR builder and exploring
+//! an ASIC-style accelerator for it — the "beyond the paper" workflow a
+//! downstream user would follow for their own avatar model.
+//!
+//! Run with: `cargo run --release --example custom_network`
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_nnir::{ActivationKind, BiasKind, NetworkBuilder, Precision, TensorShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hypothetical next-generation decoder: a geometry branch, a single
+    // 512x512 texture branch and an eye-gaze branch sharing its front part
+    // with the texture branch.
+    let mut b = NetworkBuilder::new("custom-avatar-decoder");
+
+    let geometry = b.add_branch("geometry", TensorShape::flat(256));
+    b.reshape(geometry, TensorShape::chw(4, 8, 8))?;
+    for channels in [192, 128, 64, 32] {
+        b.cau_block(geometry, channels, 3, BiasKind::PerChannel)?;
+    }
+    b.conv(geometry, 3, 3, BiasKind::Untied)?;
+
+    let texture = b.add_branch("texture", TensorShape::flat(448));
+    b.reshape(texture, TensorShape::chw(7, 8, 8))?;
+    for channels in [384, 192, 96, 48] {
+        b.cau_block(texture, channels, 3, BiasKind::PerChannel)?;
+    }
+    let gaze = b.fork_branch("gaze", texture)?;
+    for channels in [32, 16] {
+        b.cau_block(texture, channels, 3, BiasKind::PerChannel)?;
+    }
+    b.conv(texture, 3, 3, BiasKind::Untied)?;
+    b.conv(gaze, 2, 3, BiasKind::Untied)?;
+    b.activation(gaze, ActivationKind::Tanh)?;
+
+    let network = b.build()?;
+    println!("{network}");
+
+    // Target a mobile-class ASIC budget: 2048 MAC units, 1024 SRAM macros,
+    // 25.6 GB/s of LPDDR bandwidth at 800 MHz.
+    let platform = Platform::asic(2048, 1024, 25.6, 800.0);
+    let result = Fcad::new(network, platform)
+        .with_customization(Customization {
+            precision: Precision::Int8,
+            batch_sizes: vec![1, 2, 2],
+            priorities: vec![1.0, 2.0, 1.0],
+        })
+        .with_dse_params(DseParams::paper())
+        .run()?;
+
+    println!("{}", fcad::render_case_table("Custom decoder on a 2048-MAC ASIC", &result));
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Estimation-accuracy study (the Fig. 6 / Fig. 7 experiment): run the full
+//! flow on the classic single-branch benchmarks at 16-bit and 8-bit, then
+//! compare the analytical FPS / efficiency estimates against the
+//! cycle-level simulator that stands in for the paper's KU115 board.
+//!
+//! Run with: `cargo run --release --example estimation_validation`
+
+use fcad::{Customization, DseParams, Fcad, ValidationReport};
+use fcad_accel::Platform;
+use fcad_nnir::models::classic_benchmarks;
+use fcad_nnir::Precision;
+use fcad_profiler::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::ku115();
+    let mut table = Table::new(vec![
+        "Benchmark".to_owned(),
+        "Precision".to_owned(),
+        "Estimated FPS".to_owned(),
+        "Simulated FPS".to_owned(),
+        "FPS error".to_owned(),
+        "Efficiency error".to_owned(),
+    ]);
+
+    let mut fps_errors = Vec::new();
+    let mut eff_errors = Vec::new();
+    for precision in [Precision::Int16, Precision::Int8] {
+        for network in classic_benchmarks() {
+            let name = network.name().to_owned();
+            let result = Fcad::new(network, platform.clone())
+                .with_customization(Customization::uniform(1, precision))
+                .with_dse_params(DseParams::fast())
+                .run()?;
+            let validation = ValidationReport::compare(
+                &result.accelerator,
+                &result.dse.best_config,
+                platform.budget().bandwidth_bytes_per_sec,
+            )?;
+            let branch = &validation.branches[0];
+            fps_errors.push(branch.fps_error());
+            eff_errors.push(branch.efficiency_error());
+            table.add_row(vec![
+                name,
+                precision.to_string(),
+                format!("{:.1}", branch.estimated_fps),
+                format!("{:.1}", branch.simulated_fps),
+                format!("{:.2}%", branch.fps_error() * 100.0),
+                format!("{:.2}%", branch.efficiency_error() * 100.0),
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(0.0, f64::max);
+    println!(
+        "FPS estimation error:        max {:.2}%  avg {:.2}%   (paper: max 2.89%, avg 2.02%)",
+        max(&fps_errors) * 100.0,
+        mean(&fps_errors) * 100.0
+    );
+    println!(
+        "Efficiency estimation error: max {:.2}%  avg {:.2}%   (paper: max 3.96%, avg 1.91%)",
+        max(&eff_errors) * 100.0,
+        mean(&eff_errors) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Quickstart: explore an accelerator for the codec avatar decoder on the
+//! smallest FPGA of the paper (Xilinx Z7045) and print the resulting design.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_nnir::models::targeted_decoder;
+use fcad_nnir::Precision;
+use fcad_profiler::NetworkProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 0: the input — the three-branch codec avatar decoder of Table I.
+    let decoder = targeted_decoder();
+    println!("{}", NetworkProfile::of(&decoder).table());
+
+    // Steps 1-3: analysis, construction and optimization for a Z7045 budget
+    // with the paper's codec-avatar customization (batch {1, 2, 2}, 8-bit).
+    let result = Fcad::new(decoder, Platform::z7045())
+        .with_customization(Customization::codec_avatar(Precision::Int8))
+        .with_dse_params(DseParams::paper())
+        .run()?;
+
+    println!("{}", fcad::render_case_table("Z7045 (8-bit)", &result));
+
+    println!(
+        "slowest branch: {:.1} FPS | overall efficiency: {:.1}% | DSPs {} / BRAMs {}",
+        result.min_fps(),
+        result.efficiency() * 100.0,
+        result.report().total_usage.dsp,
+        result.report().total_usage.bram,
+    );
+    Ok(())
+}

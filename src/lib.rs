@@ -1,0 +1,13 @@
+//! Workspace-level convenience re-exports for the F-CAD reproduction.
+//!
+//! This crate exists so that the repository-root `examples/` and `tests/`
+//! directories have a host package. Library users should depend on the
+//! individual crates (most importantly [`fcad`]) directly.
+
+pub use fcad;
+pub use fcad_accel as accel;
+pub use fcad_baselines as baselines;
+pub use fcad_cyclesim as cyclesim;
+pub use fcad_dse as dse;
+pub use fcad_nnir as nnir;
+pub use fcad_profiler as profiler;

@@ -1,0 +1,131 @@
+//! End-to-end integration tests: the full Analysis → Construction →
+//! Optimization flow across platforms, precisions and networks.
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_nnir::models::{mimic_decoder, targeted_decoder, tiny_yolo, vgg16};
+use fcad_nnir::Precision;
+
+fn decoder_flow(platform: Platform, precision: Precision) -> fcad::FcadResult {
+    Fcad::new(targeted_decoder(), platform)
+        .with_customization(Customization::codec_avatar(precision))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("decoder flow succeeds")
+}
+
+#[test]
+fn decoder_designs_fit_their_budgets_on_all_three_fpgas() {
+    for platform in Platform::evaluation_schemes() {
+        let result = decoder_flow(platform.clone(), Precision::Int8);
+        assert!(
+            result.report().fits(platform.budget()),
+            "{} design exceeds its budget",
+            platform.name()
+        );
+        assert_eq!(result.report().branches.len(), 3);
+        for branch in &result.report().branches {
+            assert!(branch.fps > 0.0);
+            assert!(branch.efficiency > 0.0 && branch.efficiency <= 1.05);
+        }
+    }
+}
+
+#[test]
+fn throughput_scales_with_fpga_size_unlike_the_baselines() {
+    let z7045 = decoder_flow(Platform::z7045(), Precision::Int8);
+    let zu9cg = decoder_flow(Platform::zu9cg(), Precision::Int8);
+    // The paper's headline capability: F-CAD keeps scaling when given more
+    // resources (Table IV: 61 FPS-class on Z7045 vs 122 FPS-class on ZU9CG).
+    assert!(
+        zu9cg.min_fps() > 1.3 * z7045.min_fps(),
+        "ZU9CG {:.1} FPS should clearly beat Z7045 {:.1} FPS",
+        zu9cg.min_fps(),
+        z7045.min_fps()
+    );
+}
+
+#[test]
+fn eight_bit_designs_outperform_sixteen_bit_designs() {
+    let int8 = decoder_flow(Platform::zu9cg(), Precision::Int8);
+    let int16 = decoder_flow(Platform::zu9cg(), Precision::Int16);
+    // DSP packing gives 8-bit roughly twice the MAC lanes per DSP (Case 4 vs
+    // Case 5 of Table IV).
+    assert!(
+        int8.min_fps() > 1.4 * int16.min_fps(),
+        "8-bit {:.1} FPS vs 16-bit {:.1} FPS",
+        int8.min_fps(),
+        int16.min_fps()
+    );
+}
+
+#[test]
+fn the_batch_customization_is_honored_per_branch() {
+    let result = decoder_flow(Platform::zu9cg(), Precision::Int8);
+    let batches: Vec<usize> = result
+        .report()
+        .branches
+        .iter()
+        .map(|b| b.batch_size)
+        .collect();
+    assert_eq!(batches, vec![1, 2, 2]);
+}
+
+#[test]
+fn the_texture_branch_receives_the_most_compute_resources() {
+    let result = decoder_flow(Platform::zu9cg(), Precision::Int8);
+    let dsps: Vec<usize> = result
+        .report()
+        .branches
+        .iter()
+        .map(|b| b.usage.dsp)
+        .collect();
+    // Branch 2 (texture, including the shared front part) dominates the
+    // decoder's compute and must dominate the DSP allocation, as in Table IV.
+    assert!(dsps[1] > dsps[0]);
+    assert!(dsps[1] > dsps[2]);
+}
+
+#[test]
+fn mimic_and_real_decoder_flows_both_succeed() {
+    let real = decoder_flow(Platform::zu17eg(), Precision::Int8);
+    let mimic = Fcad::new(mimic_decoder(), Platform::zu17eg())
+        .with_customization(Customization::codec_avatar(Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("mimic decoder flow succeeds");
+    // The mimic decoder has nearly the same compute, so the achievable FPS
+    // is in the same range.
+    let ratio = mimic.min_fps() / real.min_fps();
+    assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+}
+
+#[test]
+fn single_branch_classics_run_at_high_efficiency() {
+    for network in [vgg16(), tiny_yolo()] {
+        let name = network.name().to_owned();
+        let result = Fcad::new(network, Platform::ku115())
+            .with_customization(Customization::uniform(1, Precision::Int16))
+            .with_dse_params(DseParams::fast())
+            .run()
+            .expect("classic network flow succeeds");
+        assert!(
+            result.efficiency() > 0.5,
+            "{name} efficiency {:.2}",
+            result.efficiency()
+        );
+        assert!(result.report().fits(Platform::ku115().budget()));
+    }
+}
+
+#[test]
+fn asic_budgets_are_supported() {
+    let platform = Platform::asic(4096, 2048, 25.6, 800.0);
+    let result = Fcad::new(targeted_decoder(), platform.clone())
+        .with_customization(Customization::codec_avatar(Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("ASIC flow succeeds");
+    assert!(result.report().fits(platform.budget()));
+    assert!(result.min_fps() > 0.0);
+}

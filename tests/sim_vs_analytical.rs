@@ -1,0 +1,95 @@
+//! Analytical model vs. cycle-level simulation (Fig. 6 / Fig. 7 behaviour).
+
+use fcad::{Customization, DseParams, Fcad, ValidationReport};
+use fcad_accel::Platform;
+use fcad_nnir::models::{classic_benchmarks, targeted_decoder};
+use fcad_nnir::Precision;
+
+fn validate(network: fcad_nnir::Network, precision: Precision) -> ValidationReport {
+    let platform = Platform::ku115();
+    let result = Fcad::new(network, platform.clone())
+        .with_customization(Customization::uniform(1, precision))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("flow succeeds");
+    ValidationReport::compare(
+        &result.accelerator,
+        &result.dse.best_config,
+        platform.budget().bandwidth_bytes_per_sec,
+    )
+    .expect("configuration matches the accelerator")
+}
+
+#[test]
+fn estimation_errors_stay_in_the_single_digit_percent_band() {
+    let mut fps_errors = Vec::new();
+    let mut eff_errors = Vec::new();
+    for precision in [Precision::Int16, Precision::Int8] {
+        for network in classic_benchmarks() {
+            let name = network.name().to_owned();
+            let report = validate(network, precision);
+            let fps_err = report.max_fps_error();
+            let eff_err = report.max_efficiency_error();
+            assert!(
+                fps_err < 0.15,
+                "{name} ({precision}) FPS error {:.1}%",
+                fps_err * 100.0
+            );
+            assert!(
+                eff_err < 0.15,
+                "{name} ({precision}) efficiency error {:.1}%",
+                eff_err * 100.0
+            );
+            fps_errors.push(fps_err);
+            eff_errors.push(eff_err);
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Average errors must be small, like the paper's 2.02% / 1.91%.
+    assert!(avg(&fps_errors) < 0.08, "avg FPS error {:.3}", avg(&fps_errors));
+    assert!(avg(&eff_errors) < 0.08, "avg eff error {:.3}", avg(&eff_errors));
+    // And non-zero: the simulator models effects the estimator ignores.
+    assert!(avg(&fps_errors) > 0.0);
+}
+
+#[test]
+fn the_analytical_model_is_always_optimistic() {
+    for network in classic_benchmarks() {
+        let report = validate(network, Precision::Int16);
+        for branch in &report.branches {
+            assert!(
+                branch.estimated_fps >= branch.simulated_fps * 0.999,
+                "analytical {:.1} FPS should not be below simulated {:.1} FPS",
+                branch.estimated_fps,
+                branch.simulated_fps
+            );
+        }
+    }
+}
+
+#[test]
+fn decoder_simulation_confirms_vr_class_throughput() {
+    let platform = Platform::zu9cg();
+    let result = Fcad::new(targeted_decoder(), platform.clone())
+        .with_customization(Customization::codec_avatar(Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("flow succeeds");
+    let report = ValidationReport::compare(
+        &result.accelerator,
+        &result.dse.best_config,
+        platform.budget().bandwidth_bytes_per_sec,
+    )
+    .expect("configuration matches");
+    // Even under the pessimistic cycle-level model, the decoder stays above
+    // the 60 FPS floor on the big FPGA (the paper's design point is 122 FPS).
+    let slowest_simulated = report
+        .branches
+        .iter()
+        .map(|b| b.simulated_fps)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        slowest_simulated > 60.0,
+        "simulated decoder throughput {slowest_simulated:.1} FPS"
+    );
+}

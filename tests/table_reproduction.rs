@@ -1,0 +1,150 @@
+//! Shape-level reproduction checks for the paper's headline comparisons:
+//! Table II (baselines), Table V (F-CAD vs baselines on the same FPGA) and
+//! the Sec. III observations.
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_baselines::{DnnBuilder, HybridDnn, MobileSoc};
+use fcad_nnir::models::{mimic_decoder, targeted_decoder};
+use fcad_nnir::Precision;
+use fcad_profiler::NetworkProfile;
+
+#[test]
+fn table1_decoder_totals_match_the_paper() {
+    let profile = NetworkProfile::of(&targeted_decoder());
+    let gop = profile.total_ops() as f64 / 1e9;
+    let mparams = profile.total_params() as f64 / 1e6;
+    assert!((gop - 13.6).abs() / 13.6 < 0.05, "GOP {gop:.2}");
+    assert!((mparams - 7.2).abs() / 7.2 < 0.05, "params {mparams:.2}M");
+}
+
+#[test]
+fn table2_soc_is_memory_bound_and_inefficient() {
+    let soc = MobileSoc::snapdragon865().evaluate(&targeted_decoder(), Precision::Int8);
+    // Paper: 35.8 FPS at 16.9% efficiency — too slow for 90 FPS VR and an
+    // order of magnitude less efficient than a good FPGA design.
+    assert!(soc.fps < 90.0, "SoC fps {:.1}", soc.fps);
+    assert!(soc.efficiency < 0.30, "SoC efficiency {:.2}", soc.efficiency);
+}
+
+#[test]
+fn table2_dnnbuilder_saturates_and_loses_efficiency_with_bigger_fpgas() {
+    let net = mimic_decoder();
+    let results: Vec<_> = Platform::evaluation_schemes()
+        .into_iter()
+        .map(|p| DnnBuilder::new(p, Precision::Int8).evaluate(&net))
+        .collect();
+    let fps: Vec<f64> = results.iter().map(|r| r.fps).collect();
+    assert!((fps[2] - fps[0]).abs() / fps[0] < 0.05, "fps {fps:?}");
+    assert!(results[0].efficiency > results[1].efficiency);
+    assert!(results[1].efficiency > results[2].efficiency);
+}
+
+#[test]
+fn table2_hybriddnn_stops_scaling_at_the_bram_wall() {
+    let net = mimic_decoder();
+    let scheme2 = HybridDnn::new(Platform::zu17eg()).evaluate(&net);
+    let scheme3 = HybridDnn::new(Platform::zu9cg()).evaluate(&net);
+    assert_eq!(scheme2.dsp, scheme3.dsp, "engine must not grow");
+    assert!((scheme2.fps - scheme3.fps).abs() < 1e-9);
+    // More than half of the ZU9CG's DSPs remain unused.
+    assert!(scheme3.dsp * 2 < Platform::zu9cg().budget().dsp + scheme3.dsp);
+}
+
+#[test]
+fn fig3_dnnbuilder_tail_layers_hit_their_parallelism_cap() {
+    let net = mimic_decoder();
+    let scheme1 = DnnBuilder::new(Platform::z7045(), Precision::Int8);
+    let scheme3 = DnnBuilder::new(Platform::zu9cg(), Precision::Int8);
+    let tail1 = scheme1.branch_tail_latencies(&net, "texture", 5);
+    let tail3 = scheme3.branch_tail_latencies(&net, "texture", 5);
+    assert_eq!(tail1.len(), 5);
+    assert_eq!(tail3.len(), 5);
+    // At least one of the last five layers is capped even in the largest
+    // scheme (the circled layers of Fig. 3)...
+    assert!(tail3.iter().any(|l| l.at_parallelism_cap));
+    // ...and any layer capped in BOTH schemes cannot speed up no matter how
+    // many extra DSPs scheme 3 offers.
+    let both_capped: Vec<usize> = (0..5)
+        .filter(|&i| tail1[i].at_parallelism_cap && tail3[i].at_parallelism_cap)
+        .collect();
+    assert!(!both_capped.is_empty());
+    for i in both_capped {
+        assert_eq!(
+            tail1[i].cycles, tail3[i].cycles,
+            "capped layer {} should not speed up with more resources",
+            tail3[i].name
+        );
+    }
+    // In particular the branch bottleneck is stuck at the same latency,
+    // which is why FPS saturates across schemes.
+    let bottleneck1 = tail1.iter().map(|l| l.cycles).max().unwrap();
+    let bottleneck3 = tail3.iter().map(|l| l.cycles).max().unwrap();
+    assert_eq!(bottleneck1, bottleneck3);
+    // Meanwhile at least one uncapped layer does benefit from the bigger
+    // budget.
+    assert!(tail3
+        .iter()
+        .zip(&tail1)
+        .any(|(l3, l1)| !l3.at_parallelism_cap && l3.cycles < l1.cycles));
+}
+
+#[test]
+fn table5_fcad_beats_both_baselines_on_the_same_fpga() {
+    let platform = Platform::zu9cg();
+    let dnnbuilder = DnnBuilder::new(platform.clone(), Precision::Int8).evaluate(&mimic_decoder());
+    let hybrid = HybridDnn::new(platform.clone()).evaluate(&mimic_decoder());
+
+    let fcad_8 = Fcad::new(targeted_decoder(), platform.clone())
+        .with_customization(Customization::uniform(3, Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("8-bit flow succeeds");
+    let fcad_16 = Fcad::new(targeted_decoder(), platform)
+        .with_customization(Customization::uniform(3, Precision::Int16))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("16-bit flow succeeds");
+
+    // Paper: 4.0x over DNNBuilder (8-bit) and 2.8x over HybridDNN (16-bit),
+    // with higher efficiency in both cases. With the fast test-sized search
+    // we require at least 2x / 1.3x and comparable efficiency; the full
+    // P=200/N=20 search (`reproduce --table5 --full`) recovers the larger
+    // margins.
+    assert!(
+        fcad_8.min_fps() > 2.0 * dnnbuilder.fps,
+        "F-CAD 8-bit {:.1} FPS vs DNNBuilder {:.1} FPS",
+        fcad_8.min_fps(),
+        dnnbuilder.fps
+    );
+    assert!(fcad_8.efficiency() > dnnbuilder.efficiency);
+    assert!(
+        fcad_16.min_fps() > 1.3 * hybrid.fps,
+        "F-CAD 16-bit {:.1} FPS vs HybridDNN {:.1} FPS",
+        fcad_16.min_fps(),
+        hybrid.fps
+    );
+    assert!(
+        fcad_16.efficiency() > 0.9 * hybrid.efficiency,
+        "F-CAD 16-bit efficiency {:.2} vs HybridDNN {:.2}",
+        fcad_16.efficiency(),
+        hybrid.efficiency
+    );
+}
+
+#[test]
+fn fcad_reaches_vr_class_throughput_on_the_largest_fpga() {
+    let result = Fcad::new(targeted_decoder(), Platform::zu9cg())
+        .with_customization(Customization::codec_avatar(Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("flow succeeds");
+    // Paper Case 4: 122.1 FPS on every branch. Shape requirement: at least
+    // the 90 FPS VR threshold on the slowest branch.
+    assert!(
+        result.min_fps() >= 90.0,
+        "expected VR-class throughput, got {:.1} FPS",
+        result.min_fps()
+    );
+    assert!(result.efficiency() > 0.7, "efficiency {:.2}", result.efficiency());
+}
