@@ -116,6 +116,8 @@ mod tests {
     #[test]
     fn asic_model_has_wider_ports() {
         let asic = CostModel::asic();
-        assert!(asic.values_per_block_per_cycle(8) > CostModel::fpga().values_per_block_per_cycle(8));
+        assert!(
+            asic.values_per_block_per_cycle(8) > CostModel::fpga().values_per_block_per_cycle(8)
+        );
     }
 }

@@ -50,11 +50,7 @@ pub struct ElasticAccelerator {
 
 impl ElasticAccelerator {
     /// Creates an accelerator with the default FPGA cost model.
-    pub fn new(
-        name: impl Into<String>,
-        branches: Vec<BranchPipeline>,
-        frequency_hz: f64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, branches: Vec<BranchPipeline>, frequency_hz: f64) -> Self {
         Self {
             name: name.into(),
             branches,
@@ -142,15 +138,9 @@ impl ElasticAccelerator {
         let total_usage = reports
             .iter()
             .fold(ResourceUsage::default(), |acc, r| acc.plus(&r.usage));
-        let min_fps = reports
-            .iter()
-            .map(|r| r.fps)
-            .fold(f64::INFINITY, f64::min);
+        let min_fps = reports.iter().map(|r| r.fps).fold(f64::INFINITY, f64::min);
         let min_fps = if min_fps.is_finite() { min_fps } else { 0.0 };
-        let total_ops_per_sec: f64 = reports
-            .iter()
-            .map(|r| r.ops_per_frame as f64 * r.fps)
-            .sum();
+        let total_ops_per_sec: f64 = reports.iter().map(|r| r.ops_per_frame as f64 * r.fps).sum();
         let overall_efficiency = efficiency(
             total_ops_per_sec,
             total_usage.dsp,
@@ -175,10 +165,7 @@ mod tests {
     use fcad_nnir::Precision;
 
     fn accelerator() -> ElasticAccelerator {
-        let br1 = BranchPipeline::new(
-            "small",
-            vec![ConvStage::synthetic("a", 8, 8, 32, 32, 3, 1)],
-        );
+        let br1 = BranchPipeline::new("small", vec![ConvStage::synthetic("a", 8, 8, 32, 32, 3, 1)]);
         let br2 = BranchPipeline::new(
             "large",
             vec![

@@ -117,15 +117,15 @@ impl Parallelism {
                     // 55 rows) wastes cycles that raw lane counting hides.
                     let quantized_cycles = (max.cpf.div_ceil(candidate.cpf)
                         * max.kpf.div_ceil(candidate.kpf)
-                        * max.h.div_ceil(candidate.h)) as f64
+                        * max.h.div_ceil(candidate.h))
+                        as f64
                         * (ideal_cycles / (max.cpf * max.kpf * max.h) as f64);
                     let effective_lanes = ideal_cycles / quantized_cycles.max(1.0);
                     let distance = (effective_lanes - target).abs();
                     // Prefer the closest effective throughput; on ties prefer
                     // more channel unrolling (better data reuse).
                     let score = (distance, usize::MAX - channel_lanes);
-                    if score.0 < best_score.0
-                        || (score.0 == best_score.0 && score.1 < best_score.1)
+                    if score.0 < best_score.0 || (score.0 == best_score.0 && score.1 < best_score.1)
                     {
                         best_score = score;
                         best = candidate;
@@ -145,7 +145,7 @@ fn divisors(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut i = 1;
     while i * i <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             out.push(i);
             if i != n / i {
                 out.push(n / i);

@@ -131,9 +131,7 @@ impl BranchPipeline {
             .stages
             .iter()
             .zip(&config.stages)
-            .map(|(stage, cfg)| {
-                UnitModel::with_cost_model(stage, cfg.parallelism, precision, cost)
-            })
+            .map(|(stage, cfg)| UnitModel::with_cost_model(stage, cfg.parallelism, precision, cost))
             .collect();
 
         let (critical_index, critical_latency) = units
@@ -237,10 +235,20 @@ mod tests {
         let pipe = pipeline();
         let p = Parallelism::new(4, 4, 1);
         let single = pipe
-            .evaluate(&config(p, p, 1), Precision::Int8, 200e6, &CostModel::default())
+            .evaluate(
+                &config(p, p, 1),
+                Precision::Int8,
+                200e6,
+                &CostModel::default(),
+            )
             .unwrap();
         let double = pipe
-            .evaluate(&config(p, p, 2), Precision::Int8, 200e6, &CostModel::default())
+            .evaluate(
+                &config(p, p, 2),
+                Precision::Int8,
+                200e6,
+                &CostModel::default(),
+            )
             .unwrap();
         assert!((double.fps / single.fps - 2.0).abs() < 1e-9);
         assert_eq!(double.usage.dsp, 2 * single.usage.dsp);

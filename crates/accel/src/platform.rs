@@ -62,8 +62,7 @@ impl ResourceUsage {
         ResourceUsage {
             dsp: self.dsp + other.dsp,
             bram: self.bram + other.bram,
-            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec
-                + other.bandwidth_bytes_per_sec,
+            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec + other.bandwidth_bytes_per_sec,
         }
     }
 }
@@ -105,31 +104,56 @@ impl Platform {
     /// Xilinx Zynq-7045 as budgeted in the paper (Scheme 1 / Case 1):
     /// 900 DSPs, 1090 BRAM18K, DDR3 bandwidth, 200 MHz.
     pub fn z7045() -> Self {
-        Self::new("Z7045", PlatformKind::Fpga, ResourceBudget::new(900, 1090, 12.8), 200.0)
+        Self::new(
+            "Z7045",
+            PlatformKind::Fpga,
+            ResourceBudget::new(900, 1090, 12.8),
+            200.0,
+        )
     }
 
     /// Xilinx ZU17EG as budgeted in the paper (Scheme 2 / Cases 2–3):
     /// 1590 DSPs, 1592 BRAM18K, 200 MHz.
     pub fn zu17eg() -> Self {
-        Self::new("ZU17EG", PlatformKind::Fpga, ResourceBudget::new(1590, 1592, 12.8), 200.0)
+        Self::new(
+            "ZU17EG",
+            PlatformKind::Fpga,
+            ResourceBudget::new(1590, 1592, 12.8),
+            200.0,
+        )
     }
 
     /// Xilinx ZU9CG as budgeted in the paper (Scheme 3 / Cases 4–5):
     /// 2520 DSPs, 1824 BRAM18K, 200 MHz.
     pub fn zu9cg() -> Self {
-        Self::new("ZU9CG", PlatformKind::Fpga, ResourceBudget::new(2520, 1824, 12.8), 200.0)
+        Self::new(
+            "ZU9CG",
+            PlatformKind::Fpga,
+            ResourceBudget::new(2520, 1824, 12.8),
+            200.0,
+        )
     }
 
     /// Xilinx KU115, the board used for the Fig. 6/7 estimation-accuracy
     /// study: 5520 DSPs, 4320 BRAM18K, 200 MHz.
     pub fn ku115() -> Self {
-        Self::new("KU115", PlatformKind::Fpga, ResourceBudget::new(5520, 4320, 19.2), 200.0)
+        Self::new(
+            "KU115",
+            PlatformKind::Fpga,
+            ResourceBudget::new(5520, 4320, 19.2),
+            200.0,
+        )
     }
 
     /// A generic ASIC budget expressed in MAC units, 18 Kb SRAM macros and
     /// bandwidth — the paper notes the same flow targets ASICs by mapping
     /// `{Cmax, Mmax, BWmax}` onto MACs, buffers and DRAM bandwidth.
-    pub fn asic(macs: usize, sram_macros: usize, bandwidth_gb_per_sec: f64, frequency_mhz: f64) -> Self {
+    pub fn asic(
+        macs: usize,
+        sram_macros: usize,
+        bandwidth_gb_per_sec: f64,
+        frequency_mhz: f64,
+    ) -> Self {
         Self::new(
             format!("ASIC-{macs}mac"),
             PlatformKind::Asic,
@@ -222,10 +246,7 @@ mod tests {
             bram: 500,
             bandwidth_bytes_per_sec: 9e9,
         };
-        let too_big = ResourceUsage {
-            dsp: 1001,
-            ..fits
-        };
+        let too_big = ResourceUsage { dsp: 1001, ..fits };
         assert!(budget.accommodates(&fits));
         assert!(!budget.accommodates(&too_big));
     }

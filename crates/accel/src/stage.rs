@@ -55,8 +55,8 @@ impl ConvStage {
         kernel: usize,
         upsample: usize,
     ) -> Self {
-        let macs = (out_channels * in_channels * kernel * kernel) as u64
-            * (out_height * out_width) as u64;
+        let macs =
+            (out_channels * in_channels * kernel * kernel) as u64 * (out_height * out_width) as u64;
         let params = (out_channels * in_channels * kernel * kernel + out_channels) as u64;
         Self {
             name: name.into(),

@@ -54,8 +54,7 @@ impl DnnBuilder {
         let lanes: Vec<usize> = stages
             .iter()
             .map(|stage| {
-                let proportional =
-                    budget_lanes as f64 * stage.macs as f64 / total_macs.max(1.0);
+                let proportional = budget_lanes as f64 * stage.macs as f64 / total_macs.max(1.0);
                 let quantized = floor_pow2(proportional.floor() as usize);
                 quantized.clamp(1, stage.channel_parallelism_limit())
             })
@@ -67,8 +66,7 @@ impl DnnBuilder {
         let mut max_latency = 1u64;
         for (stage, &stage_lanes) in stages.iter().zip(&lanes) {
             let parallelism = two_level_parallelism(stage, stage_lanes);
-            let unit =
-                UnitModel::with_cost_model(stage, parallelism, self.precision, &self.cost);
+            let unit = UnitModel::with_cost_model(stage, parallelism, self.precision, &self.cost);
             dsp += unit.dsp();
             bram += unit.bram();
             max_latency = max_latency.max(unit.latency_cycles());
@@ -108,11 +106,7 @@ impl DnnBuilder {
     ) -> Vec<LayerLatency> {
         let result = self.evaluate(network);
         let profile = NetworkProfile::of(network);
-        let Some(branch) = profile
-            .branches()
-            .iter()
-            .find(|b| b.name == branch_name)
-        else {
+        let Some(branch) = profile.branches().iter().find(|b| b.name == branch_name) else {
             return Vec::new();
         };
         let tail_names: Vec<String> = branch
@@ -174,7 +168,7 @@ fn divisors(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut i = 1;
     while i * i <= n.max(1) {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             out.push(i);
             if i != n / i {
                 out.push(n / i);

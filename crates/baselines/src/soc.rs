@@ -157,9 +157,7 @@ mod tests {
     #[test]
     fn peak_rate_follows_precision_packing() {
         let soc = MobileSoc::snapdragon865();
-        assert!(
-            soc.peak_ops_per_sec(Precision::Int8) > soc.peak_ops_per_sec(Precision::Int16)
-        );
+        assert!(soc.peak_ops_per_sec(Precision::Int8) > soc.peak_ops_per_sec(Precision::Int16));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! in-branch optimization (the inner loop of the DSE).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fcad_accel::{ConvStage, BranchPipeline, ResourceBudget};
+use fcad_accel::{BranchPipeline, ConvStage, ResourceBudget};
 use fcad_dse::InBranchOptimizer;
 use fcad_nnir::models::targeted_decoder;
 use fcad_nnir::Precision;

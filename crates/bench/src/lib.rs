@@ -132,7 +132,11 @@ pub fn fig3() -> (Vec<(String, Vec<LayerLatency>)>, String) {
             let mut row = vec![layer.name.clone()];
             for (_, latencies) in &series {
                 let cycles = latencies[idx].cycles as f64;
-                let capped = if latencies[idx].at_parallelism_cap { "*" } else { "" };
+                let capped = if latencies[idx].at_parallelism_cap {
+                    "*"
+                } else {
+                    ""
+                };
                 row.push(format!("{:.2}{}", cycles / 200e6 * 1e3, capped));
             }
             table.add_row(row);
@@ -257,11 +261,31 @@ pub fn fig7(samples: &[EstimationSample]) -> String {
 /// The five Table IV cases: platform, precision and label.
 pub fn table4_cases() -> Vec<(String, Platform, Precision)> {
     vec![
-        ("Case 1: Z7045 (8-bit)".into(), Platform::z7045(), Precision::Int8),
-        ("Case 2: ZU17EG (8-bit)".into(), Platform::zu17eg(), Precision::Int8),
-        ("Case 3: ZU17EG (16-bit)".into(), Platform::zu17eg(), Precision::Int16),
-        ("Case 4: ZU9CG (8-bit)".into(), Platform::zu9cg(), Precision::Int8),
-        ("Case 5: ZU9CG (16-bit)".into(), Platform::zu9cg(), Precision::Int16),
+        (
+            "Case 1: Z7045 (8-bit)".into(),
+            Platform::z7045(),
+            Precision::Int8,
+        ),
+        (
+            "Case 2: ZU17EG (8-bit)".into(),
+            Platform::zu17eg(),
+            Precision::Int8,
+        ),
+        (
+            "Case 3: ZU17EG (16-bit)".into(),
+            Platform::zu17eg(),
+            Precision::Int16,
+        ),
+        (
+            "Case 4: ZU9CG (8-bit)".into(),
+            Platform::zu9cg(),
+            Precision::Int8,
+        ),
+        (
+            "Case 5: ZU9CG (16-bit)".into(),
+            Platform::zu9cg(),
+            Precision::Int16,
+        ),
     ]
 }
 
@@ -277,7 +301,8 @@ pub fn run_case(platform: &Platform, precision: Precision, full: bool) -> FcadRe
 
 /// Table IV: the five F-CAD-generated accelerators.
 pub fn table4(full: bool) -> String {
-    let mut text = String::from("Table IV — F-CAD generated accelerators for codec avatar decoding\n");
+    let mut text =
+        String::from("Table IV — F-CAD generated accelerators for codec avatar decoding\n");
     for (name, platform, precision) in table4_cases() {
         let result = run_case(&platform, precision, full);
         text.push_str(&fcad::render_case_table(
@@ -315,7 +340,12 @@ pub fn table5(full: bool) -> String {
     for (name, r) in [("DNNBuilder", &dnnbuilder), ("HybridDNN", &hybrid)] {
         table.add_row(vec![
             name.into(),
-            r.name.split('(').nth(1).unwrap_or("").trim_end_matches(')').into(),
+            r.name
+                .split('(')
+                .nth(1)
+                .unwrap_or("")
+                .trim_end_matches(')')
+                .into(),
             r.dsp.to_string(),
             r.bram.to_string(),
             format!("{:.1}", r.fps),

@@ -152,10 +152,7 @@ mod tests {
         let net = targeted_decoder();
         let construction = construct(&net);
         // Total stages equals the number of distinct compute layers.
-        let distinct_compute = net
-            .layers()
-            .filter(|(_, l)| l.kind().is_compute())
-            .count();
+        let distinct_compute = net.layers().filter(|(_, l)| l.kind().is_compute()).count();
         assert_eq!(construction.total_stages(), distinct_compute);
     }
 

@@ -159,7 +159,11 @@ mod tests {
         assert_eq!(result.report().branches.len(), 3);
         // All three branches deliver real-time-class throughput.
         assert!(result.min_fps() > 30.0, "min fps {}", result.min_fps());
-        assert!(result.efficiency() > 0.5, "efficiency {}", result.efficiency());
+        assert!(
+            result.efficiency() > 0.5,
+            "efficiency {}",
+            result.efficiency()
+        );
     }
 
     #[test]

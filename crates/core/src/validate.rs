@@ -157,7 +157,10 @@ mod tests {
             "efficiency error {:.3}",
             report.max_efficiency_error()
         );
-        assert!(report.max_fps_error() > 0.0, "simulation must not be identical");
+        assert!(
+            report.max_fps_error() > 0.0,
+            "simulation must not be identical"
+        );
     }
 
     #[test]

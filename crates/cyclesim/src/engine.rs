@@ -25,16 +25,12 @@ const ADDRESS_GEN_DSP_PER_STAGE: usize = 1;
 #[derive(Debug, Clone)]
 pub(crate) struct StageTiming {
     pub name: String,
-    /// Output rows produced per pass (the H-partition width).
-    pub rows_per_pass: usize,
     /// Number of passes per frame.
     pub passes: u64,
     /// Cycles per pass (tile-quantized inner loops + overhead).
     pub cycles_per_pass: u64,
     /// Input rows that must be available before the stage can start.
     pub input_rows_needed_to_start: usize,
-    /// Input rows consumed in total.
-    pub input_rows_total: usize,
     /// Output rows emitted in total (after fused up-sampling).
     pub output_rows_total: usize,
     /// Weight bytes streamed per frame.
@@ -54,8 +50,8 @@ impl StageTiming {
         // One pass computes `h` output rows (one per partition section);
         // every output pixel of those rows needs the full channel/kernel
         // reduction.
-        let cycles_per_pass = cin_tiles * cout_tiles * kernel_sq * stage.out_width as u64
-            + ROW_PASS_OVERHEAD_CYCLES;
+        let cycles_per_pass =
+            cin_tiles * cout_tiles * kernel_sq * stage.out_width as u64 + ROW_PASS_OVERHEAD_CYCLES;
         let passes = div_ceil(stage.out_height as u64, p.h as u64);
         // The last H-partition section starts near the bottom of the input
         // map, so with h sections the stage needs roughly ((h-1)/h) of the
@@ -68,11 +64,9 @@ impl StageTiming {
         let unit = UnitModel::new(stage, p, precision);
         Self {
             name: stage.name.clone(),
-            rows_per_pass: p.h,
             passes,
             cycles_per_pass,
             input_rows_needed_to_start,
-            input_rows_total: stage.in_height,
             output_rows_total: stage.upsampled_height(),
             weight_bytes: stage.params * precision.bytes() as u64,
             dsp: unit.dsp() + ADDRESS_GEN_DSP_PER_STAGE,

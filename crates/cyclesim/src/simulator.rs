@@ -119,10 +119,7 @@ impl Simulator {
                 sim
             })
             .collect();
-        let min_fps = branches
-            .iter()
-            .map(|b| b.fps)
-            .fold(f64::INFINITY, f64::min);
+        let min_fps = branches.iter().map(|b| b.fps).fold(f64::INFINITY, f64::min);
         let min_fps = if min_fps.is_finite() { min_fps } else { 0.0 };
         let dsp: usize = branches.iter().map(|b| b.dsp).sum();
         let total_ops_per_sec: f64 = branches
@@ -175,7 +172,12 @@ mod tests {
 
         let pipeline = BranchPipeline::new("b", s);
         let analytical = pipeline
-            .evaluate(&cfg, Precision::Int8, 200e6, &fcad_accel::CostModel::default())
+            .evaluate(
+                &cfg,
+                Precision::Int8,
+                200e6,
+                &fcad_accel::CostModel::default(),
+            )
             .unwrap();
 
         assert!(measured.fps > 0.0);

@@ -110,15 +110,14 @@ impl ResourceDistribution {
     ) -> Self {
         let mut next = self.clone();
         for (b, share) in next.shares.iter_mut().enumerate() {
-            for dim in 0..3 {
-                let toward_local = params.local_pull
-                    * rng.gen_range(0.0..1.0)
-                    * (local_best.shares[b][dim] - share[dim]);
+            for (dim, s) in share.iter_mut().enumerate() {
+                let toward_local =
+                    params.local_pull * rng.gen_range(0.0..1.0) * (local_best.shares[b][dim] - *s);
                 let toward_global = params.global_pull
                     * rng.gen_range(0.0..1.0)
-                    * (global_best.shares[b][dim] - share[dim]);
+                    * (global_best.shares[b][dim] - *s);
                 let jitter = params.jitter * rng.gen_range(-1.0..1.0);
-                share[dim] += toward_local + toward_global + jitter;
+                *s += toward_local + toward_global + jitter;
             }
         }
         next.normalized()
@@ -245,9 +244,7 @@ impl DseEngine {
             .branches()
             .iter()
             .enumerate()
-            .map(|(i, b)| {
-                b.macs_per_frame() as f64 * customization.batch_size(i) as f64 + 1.0
-            })
+            .map(|(i, b)| b.macs_per_frame() as f64 * customization.batch_size(i) as f64 + 1.0)
             .collect();
         let bram_weights: Vec<f64> = accelerator
             .branches()
@@ -289,8 +286,12 @@ impl DseEngine {
             .iter()
             .map(|p| (f64::NEG_INFINITY, p.clone()))
             .collect();
-        let mut global_best: Option<(f64, ResourceDistribution, AcceleratorConfig, AcceleratorReport)> =
-            None;
+        let mut global_best: Option<(
+            f64,
+            ResourceDistribution,
+            AcceleratorConfig,
+            AcceleratorReport,
+        )> = None;
         let mut convergence_iteration = 0usize;
         let mut history = Vec::with_capacity(self.params.iterations);
 
@@ -317,7 +318,12 @@ impl DseEngine {
                     convergence_iteration = iteration + 1;
                 }
             }
-            history.push(global_best.as_ref().map(|(f, _, _, _)| *f).unwrap_or(f64::NEG_INFINITY));
+            history.push(
+                global_best
+                    .as_ref()
+                    .map(|(f, _, _, _)| *f)
+                    .unwrap_or(f64::NEG_INFINITY),
+            );
 
             // Evolve the population towards the local and global bests.
             if let Some((_, ref global_rd, _, _)) = global_best {
@@ -368,8 +374,11 @@ impl DseEngine {
     ) -> Result<Vec<DseResult>> {
         (0..runs.max(1))
             .map(|i| {
-                DseEngine::new(self.params.with_seed(self.params.seed.wrapping_add(i as u64 * 7919)))
-                    .explore(accelerator, platform, customization)
+                DseEngine::new(
+                    self.params
+                        .with_seed(self.params.seed.wrapping_add(i as u64 * 7919)),
+                )
+                .explore(accelerator, platform, customization)
             })
             .collect()
     }
@@ -392,7 +401,8 @@ impl DseEngine {
                 accelerator.frequency_hz(),
             )
             .with_cost_model(*accelerator.cost_model());
-            branch_configs.push(optimizer.optimize(&branch_budget, customization.batch_size(index)));
+            branch_configs
+                .push(optimizer.optimize(&branch_budget, customization.batch_size(index)));
         }
         let config = AcceleratorConfig::new(branch_configs, customization.precision);
         let report = accelerator.evaluate(&config).ok()?;
@@ -493,10 +503,10 @@ mod tests {
     fn priorities_steer_resources_towards_the_preferred_branch() {
         let acc = two_branch_accelerator();
         let engine = DseEngine::new(DseParams::fast());
-        let favor_light = Customization::uniform(2, Precision::Int8)
-            .with_priorities(vec![0.1, 10.0]);
-        let favor_heavy = Customization::uniform(2, Precision::Int8)
-            .with_priorities(vec![10.0, 0.1]);
+        let favor_light =
+            Customization::uniform(2, Precision::Int8).with_priorities(vec![0.1, 10.0]);
+        let favor_heavy =
+            Customization::uniform(2, Precision::Int8).with_priorities(vec![10.0, 0.1]);
         let light_first = engine
             .explore(&acc, &Platform::z7045(), &favor_light)
             .unwrap();

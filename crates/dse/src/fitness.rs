@@ -52,11 +52,7 @@ pub fn fitness_score(
         .map(|(i, fps)| fps * customization.priority(i))
         .sum();
     let mean = perf.iter().sum::<f64>() / perf.len() as f64;
-    let variance = perf
-        .iter()
-        .map(|p| (p - mean).powi(2))
-        .sum::<f64>()
-        / perf.len() as f64;
+    let variance = perf.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / perf.len() as f64;
     weighted - params.alpha * variance
 }
 
@@ -128,9 +124,6 @@ mod tests {
     #[test]
     fn empty_report_scores_zero() {
         let params = FitnessParams::default();
-        assert_eq!(
-            fitness_score(&report(&[]), &customization(0), &params),
-            0.0
-        );
+        assert_eq!(fitness_score(&report(&[]), &customization(0), &params), 0.0);
     }
 }

@@ -60,10 +60,7 @@ impl<'a> InBranchOptimizer<'a> {
 
         // Lines 4–12: optimistic, load-balanced parallelism targets derived
         // from the bandwidth-limited frame rate.
-        let weight_bytes: u64 = self
-            .pipeline
-            .weight_bytes_per_frame(self.precision)
-            .max(1);
+        let weight_bytes: u64 = self.pipeline.weight_bytes_per_frame(self.precision).max(1);
         let bandwidth_fps =
             budget.bandwidth_bytes_per_sec * self.cost.dram_efficiency / weight_bytes as f64;
         let mut targets: Vec<usize> = stages
@@ -141,8 +138,7 @@ impl<'a> InBranchOptimizer<'a> {
         let copies_by_dsp = budget.dsp / dsp.max(1);
         let copies_by_bram = budget.bram / bram.max(1);
         let fps_single = self.frequency_hz / max_latency as f64;
-        let bw_per_copy =
-            weight_bytes as f64 * fps_single / self.cost.dram_efficiency.max(1e-6);
+        let bw_per_copy = weight_bytes as f64 * fps_single / self.cost.dram_efficiency.max(1e-6);
         let copies_by_bw = if bw_per_copy <= 0.0 {
             usize::MAX
         } else {
@@ -205,7 +201,11 @@ mod tests {
         let cfg = optimizer.optimize(&budget, 1);
         let report = evaluate(&pipe, &cfg);
         assert!(report.usage.dsp <= budget.dsp, "dsp {}", report.usage.dsp);
-        assert!(report.usage.bram <= budget.bram, "bram {}", report.usage.bram);
+        assert!(
+            report.usage.bram <= budget.bram,
+            "bram {}",
+            report.usage.bram
+        );
         assert!(report.usage.bandwidth_bytes_per_sec <= budget.bandwidth_bytes_per_sec);
     }
 
@@ -213,10 +213,19 @@ mod tests {
     fn larger_budgets_yield_no_slower_designs() {
         let pipe = pipeline();
         let optimizer = InBranchOptimizer::new(&pipe, Precision::Int8, 200e6);
-        let small = evaluate(&pipe, &optimizer.optimize(&ResourceBudget::new(200, 300, 4.0), 1));
-        let large = evaluate(&pipe, &optimizer.optimize(&ResourceBudget::new(1600, 1200, 12.8), 1));
+        let small = evaluate(
+            &pipe,
+            &optimizer.optimize(&ResourceBudget::new(200, 300, 4.0), 1),
+        );
+        let large = evaluate(
+            &pipe,
+            &optimizer.optimize(&ResourceBudget::new(1600, 1200, 12.8), 1),
+        );
         assert!(large.fps >= small.fps);
-        assert!(large.fps > 1.5 * small.fps, "large budget should clearly help");
+        assert!(
+            large.fps > 1.5 * small.fps,
+            "large budget should clearly help"
+        );
     }
 
     #[test]

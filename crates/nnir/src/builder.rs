@@ -94,9 +94,12 @@ impl NetworkBuilder {
     ///
     /// Returns [`Error::UnknownId`] when the branch does not exist.
     pub fn current_shape(&self, branch: BranchId) -> Result<TensorShape> {
-        let b = self.branches.get(branch.0).ok_or_else(|| Error::UnknownId {
-            what: format!("{branch} passed to current_shape"),
-        })?;
+        let b = self
+            .branches
+            .get(branch.0)
+            .ok_or_else(|| Error::UnknownId {
+                what: format!("{branch} passed to current_shape"),
+            })?;
         Ok(match b.layers.last() {
             Some(last) => self.layers[last.0].output_shape(),
             None => b.input,
@@ -164,7 +167,10 @@ impl NetworkBuilder {
         kernel: usize,
         bias: BiasKind,
     ) -> Result<LayerId> {
-        self.push_layer(branch, LayerKind::Conv(ConvSpec::same(out_channels, kernel, bias)))
+        self.push_layer(
+            branch,
+            LayerKind::Conv(ConvSpec::same(out_channels, kernel, bias)),
+        )
     }
 
     /// Appends a strided convolution.
@@ -183,7 +189,13 @@ impl NetworkBuilder {
     ) -> Result<LayerId> {
         self.push_layer(
             branch,
-            LayerKind::Conv(ConvSpec::strided(out_channels, kernel, stride, padding, bias)),
+            LayerKind::Conv(ConvSpec::strided(
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                bias,
+            )),
         )
     }
 

@@ -141,10 +141,7 @@ impl Network {
 
     /// All distinct layers.
     pub fn layers(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (LayerId(i), l))
+        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i), l))
     }
 
     /// Looks up a branch by id.
@@ -154,8 +151,7 @@ impl Network {
 
     /// Looks up a branch by name.
     pub fn branch_by_name(&self, name: &str) -> Option<(BranchId, &Branch)> {
-        self.branches()
-            .find(|(_, branch)| branch.name() == name)
+        self.branches().find(|(_, branch)| branch.name() == name)
     }
 
     /// Looks up a layer by id.
@@ -204,10 +200,7 @@ impl Network {
 
     /// Total weight bytes at `precision`, shared layers counted once.
     pub fn total_weight_bytes(&self, precision: Precision) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| l.weight_bytes(precision))
-            .sum()
+        self.layers.iter().map(|l| l.weight_bytes(precision)).sum()
     }
 
     /// Operations of one branch, including its shared prefix.
@@ -303,13 +296,9 @@ impl Network {
                 current = layer.output_shape();
             }
             if let Some((parent, n)) = branch.fork_of {
-                let parent_branch =
-                    self.branch(parent).ok_or_else(|| Error::InvalidNetwork {
-                        reason: format!(
-                            "branch `{}` forks from missing {parent}",
-                            branch.name()
-                        ),
-                    })?;
+                let parent_branch = self.branch(parent).ok_or_else(|| Error::InvalidNetwork {
+                    reason: format!("branch `{}` forks from missing {parent}", branch.name()),
+                })?;
                 if parent_branch.layers.len() < n || branch.layers.len() < n {
                     return Err(Error::InvalidNetwork {
                         reason: format!(
@@ -350,9 +339,7 @@ impl fmt::Display for Network {
             self.total_params() as f64 / 1e6
         )?;
         for (id, branch) in self.branches() {
-            let out = self
-                .branch_output_shape(id)
-                .unwrap_or_else(TensorShape::default);
+            let out = self.branch_output_shape(id).unwrap_or_default();
             writeln!(
                 f,
                 "  {id} `{}`: {} -> {} ({} layers, {:.2} GOP)",

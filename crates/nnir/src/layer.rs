@@ -250,8 +250,7 @@ impl Layer {
                 if spec.out_channels == 0 || spec.kernel == 0 || spec.stride == 0 {
                     return Err(Error::InvalidLayer {
                         layer: name.to_owned(),
-                        reason: "convolution needs non-zero channels, kernel and stride"
-                            .to_owned(),
+                        reason: "convolution needs non-zero channels, kernel and stride".to_owned(),
                     });
                 }
                 let padded_h = input.height + 2 * spec.padding;
@@ -298,9 +297,7 @@ impl Layer {
                 if input.height < kernel || input.width < kernel {
                     return Err(Error::ShapeMismatch {
                         layer: name.to_owned(),
-                        reason: format!(
-                            "pool window {kernel}x{kernel} larger than input {input}"
-                        ),
+                        reason: format!("pool window {kernel}x{kernel} larger than input {input}"),
                     });
                 }
                 let out_h = (input.height - kernel) / stride + 1;
@@ -390,10 +387,8 @@ impl Layer {
     pub fn params(&self) -> u64 {
         match *self.kind() {
             LayerKind::Conv(spec) => {
-                let weights = (spec.out_channels
-                    * self.input.channels
-                    * spec.kernel
-                    * spec.kernel) as u64;
+                let weights =
+                    (spec.out_channels * self.input.channels * spec.kernel * spec.kernel) as u64;
                 weights + spec.bias.param_count(self.output) as u64
             }
             LayerKind::Dense { out_features, bias } => {

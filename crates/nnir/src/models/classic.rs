@@ -17,10 +17,12 @@ use crate::tensor::TensorShape;
 pub fn alexnet() -> Network {
     let mut b = NetworkBuilder::new("alexnet");
     let m = b.add_branch("main", TensorShape::chw(3, 227, 227));
-    b.conv_strided(m, 96, 11, 4, 0, BiasKind::PerChannel).expect("conv1");
+    b.conv_strided(m, 96, 11, 4, 0, BiasKind::PerChannel)
+        .expect("conv1");
     b.activation(m, ActivationKind::Relu).expect("relu1");
     b.max_pool(m, 3, 2).expect("pool1");
-    b.conv_strided(m, 256, 5, 1, 2, BiasKind::PerChannel).expect("conv2");
+    b.conv_strided(m, 256, 5, 1, 2, BiasKind::PerChannel)
+        .expect("conv2");
     b.activation(m, ActivationKind::Relu).expect("relu2");
     b.max_pool(m, 3, 2).expect("pool2");
     b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv3");
@@ -42,10 +44,12 @@ pub fn alexnet() -> Network {
 pub fn zfnet() -> Network {
     let mut b = NetworkBuilder::new("zfnet");
     let m = b.add_branch("main", TensorShape::chw(3, 224, 224));
-    b.conv_strided(m, 96, 7, 2, 1, BiasKind::PerChannel).expect("conv1");
+    b.conv_strided(m, 96, 7, 2, 1, BiasKind::PerChannel)
+        .expect("conv1");
     b.activation(m, ActivationKind::Relu).expect("relu1");
     b.max_pool(m, 3, 2).expect("pool1");
-    b.conv_strided(m, 256, 5, 2, 0, BiasKind::PerChannel).expect("conv2");
+    b.conv_strided(m, 256, 5, 2, 0, BiasKind::PerChannel)
+        .expect("conv2");
     b.activation(m, ActivationKind::Relu).expect("relu2");
     b.max_pool(m, 3, 2).expect("pool2");
     b.conv(m, 384, 3, BiasKind::PerChannel).expect("conv3");
@@ -70,7 +74,8 @@ pub fn vgg16() -> Network {
     let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     for (channels, convs) in stages {
         for _ in 0..convs {
-            b.conv(m, channels, 3, BiasKind::PerChannel).expect("vgg conv");
+            b.conv(m, channels, 3, BiasKind::PerChannel)
+                .expect("vgg conv");
             b.activation(m, ActivationKind::Relu).expect("vgg relu");
         }
         b.max_pool(m, 2, 2).expect("vgg pool");
@@ -89,8 +94,10 @@ pub fn tiny_yolo() -> Network {
     let m = b.add_branch("main", TensorShape::chw(3, 416, 416));
     let downsampled: [usize; 5] = [16, 32, 64, 128, 256];
     for channels in downsampled {
-        b.conv(m, channels, 3, BiasKind::PerChannel).expect("yolo conv");
-        b.activation(m, ActivationKind::LeakyRelu).expect("yolo act");
+        b.conv(m, channels, 3, BiasKind::PerChannel)
+            .expect("yolo conv");
+        b.activation(m, ActivationKind::LeakyRelu)
+            .expect("yolo act");
         b.max_pool(m, 2, 2).expect("yolo pool");
     }
     b.conv(m, 512, 3, BiasKind::PerChannel).expect("conv6");
@@ -100,7 +107,8 @@ pub fn tiny_yolo() -> Network {
     b.activation(m, ActivationKind::LeakyRelu).expect("act7");
     b.conv(m, 1024, 3, BiasKind::PerChannel).expect("conv8");
     b.activation(m, ActivationKind::LeakyRelu).expect("act8");
-    b.conv_strided(m, 125, 1, 1, 0, BiasKind::PerChannel).expect("conv9");
+    b.conv_strided(m, 125, 1, 1, 0, BiasKind::PerChannel)
+        .expect("conv9");
     b.build().expect("tiny-yolo is statically valid")
 }
 
@@ -117,7 +125,12 @@ mod tests {
     #[test]
     fn all_benchmarks_are_single_branch_and_valid() {
         for net in classic_benchmarks() {
-            assert_eq!(net.branch_count(), 1, "{} must be single branch", net.name());
+            assert_eq!(
+                net.branch_count(),
+                1,
+                "{} must be single branch",
+                net.name()
+            );
             assert!(net.validate().is_ok(), "{} must validate", net.name());
         }
     }
@@ -130,7 +143,10 @@ mod tests {
         // ~62 M parameters.
         assert!(gop > 1.5 && gop < 3.0, "alexnet GOP {gop}");
         let mparams = net.total_params() as f64 / 1e6;
-        assert!(mparams > 50.0 && mparams < 70.0, "alexnet params {mparams}M");
+        assert!(
+            mparams > 50.0 && mparams < 70.0,
+            "alexnet params {mparams}M"
+        );
     }
 
     #[test]
@@ -140,7 +156,10 @@ mod tests {
         // VGG16 is ~31 GOP (2 ops/MAC) and ~138 M parameters.
         assert!(gop > 25.0 && gop < 36.0, "vgg16 GOP {gop}");
         let mparams = net.total_params() as f64 / 1e6;
-        assert!(mparams > 120.0 && mparams < 150.0, "vgg16 params {mparams}M");
+        assert!(
+            mparams > 120.0 && mparams < 150.0,
+            "vgg16 params {mparams}M"
+        );
     }
 
     #[test]

@@ -93,9 +93,12 @@ impl fmt::Display for TensorShape {
 /// The paper evaluates 8-bit and 16-bit fixed-point accelerators; `Fp32` is
 /// provided as a software-reference format (e.g. for the SoC baseline before
 /// quantization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Precision {
     /// 8-bit fixed point (the paper's most efficient FPGA configuration).
+    #[default]
     Int8,
     /// 16-bit fixed point.
     Int16,
@@ -135,12 +138,6 @@ impl Precision {
     /// MAC operations a single DSP-style multiplier completes per cycle.
     pub const fn macs_per_dsp(&self) -> f64 {
         self.ops_per_multiplier() / 2.0
-    }
-}
-
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::Int8
     }
 }
 

@@ -148,9 +148,7 @@ impl NetworkProfile {
                     .collect(),
                 shared_prefix_len: branch.shared_prefix_len(),
                 input: branch.input_shape(),
-                output: net
-                    .branch_output_shape(id)
-                    .unwrap_or_else(TensorShape::default),
+                output: net.branch_output_shape(id).unwrap_or_default(),
             })
             .collect();
         Self {

@@ -43,9 +43,10 @@ impl Table {
 
     /// Renders the table as fixed-width text.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, cell) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
@@ -57,9 +58,9 @@ impl Table {
         }
         let format_row = |row: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..columns {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                line.push_str(&format!("{cell:<width$}"));
                 if i + 1 != columns {
                     line.push_str("  ");
                 }
@@ -99,7 +100,11 @@ impl NetworkProfile {
                 format!("{} ({})", i + 1, branch.name),
                 format!("{} -> {}", branch.input, branch.output),
                 format!("{}", branch.layer_count()),
-                format!("{:.1} ({:.1}%)", branch.ops() as f64 / 1e9, ops_shares[i] * 100.0),
+                format!(
+                    "{:.1} ({:.1}%)",
+                    branch.ops() as f64 / 1e9,
+                    ops_shares[i] * 100.0
+                ),
                 format!(
                     "{:.1}M ({:.1}%)",
                     branch.params() as f64 / 1e6,
@@ -114,7 +119,12 @@ impl NetworkProfile {
             format!("{:.1}", self.total_ops() as f64 / 1e9),
             format!("{:.1}M", self.total_params() as f64 / 1e6),
         ]);
-        format!("{} ({})\n{}", "Network profile", self.network_name(), table.render())
+        format!(
+            "{} ({})\n{}",
+            "Network profile",
+            self.network_name(),
+            table.render()
+        )
     }
 }
 

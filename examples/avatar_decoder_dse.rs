@@ -13,10 +13,22 @@ use fcad_nnir::Precision;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases: [(&str, Platform, Precision); 5] = [
         ("Case 1: Z7045 (8-bit)", Platform::z7045(), Precision::Int8),
-        ("Case 2: ZU17EG (8-bit)", Platform::zu17eg(), Precision::Int8),
-        ("Case 3: ZU17EG (16-bit)", Platform::zu17eg(), Precision::Int16),
+        (
+            "Case 2: ZU17EG (8-bit)",
+            Platform::zu17eg(),
+            Precision::Int8,
+        ),
+        (
+            "Case 3: ZU17EG (16-bit)",
+            Platform::zu17eg(),
+            Precision::Int16,
+        ),
         ("Case 4: ZU9CG (8-bit)", Platform::zu9cg(), Precision::Int8),
-        ("Case 5: ZU9CG (16-bit)", Platform::zu9cg(), Precision::Int16),
+        (
+            "Case 5: ZU9CG (16-bit)",
+            Platform::zu9cg(),
+            Precision::Int16,
+        ),
     ];
 
     for (name, platform, precision) in cases {

@@ -49,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_dse_params(DseParams::paper())
         .run()?;
 
-    println!("{}", fcad::render_case_table("Custom decoder on a 2048-MAC ASIC", &result));
+    println!(
+        "{}",
+        fcad::render_case_table("Custom decoder on a 2048-MAC ASIC", &result)
+    );
     Ok(())
 }

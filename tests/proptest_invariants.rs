@@ -12,11 +12,17 @@ fn precision_strategy() -> impl Strategy<Value = Precision> {
 }
 
 fn stage_strategy() -> impl Strategy<Value = ConvStage> {
-    (1usize..64, 1usize..64, 1usize..128, 1usize..128, 1usize..=5, 1usize..=2).prop_map(
-        |(in_ch, out_ch, h, w, k, up)| {
-            ConvStage::synthetic("stage", in_ch, out_ch, h, w, 2 * k - 1, up)
-        },
+    (
+        1usize..64,
+        1usize..64,
+        1usize..128,
+        1usize..128,
+        1usize..=5,
+        1usize..=2,
     )
+        .prop_map(|(in_ch, out_ch, h, w, k, up)| {
+            ConvStage::synthetic("stage", in_ch, out_ch, h, w, 2 * k - 1, up)
+        })
 }
 
 proptest! {

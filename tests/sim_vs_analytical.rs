@@ -24,6 +24,10 @@ fn validate(network: fcad_nnir::Network, precision: Precision) -> ValidationRepo
 fn estimation_errors_stay_in_the_single_digit_percent_band() {
     let mut fps_errors = Vec::new();
     let mut eff_errors = Vec::new();
+    // Per-benchmark ceiling: Fig. 6 (FPS) and Fig. 7 (efficiency) show
+    // estimation errors in the low single digits per benchmark/precision;
+    // 15% is a loose ceiling that still catches a broken estimator while
+    // tolerating the fast test-sized DSE landing on less typical designs.
     for precision in [Precision::Int16, Precision::Int8] {
         for network in classic_benchmarks() {
             let name = network.name().to_owned();
@@ -45,9 +49,19 @@ fn estimation_errors_stay_in_the_single_digit_percent_band() {
         }
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    // Average errors must be small, like the paper's 2.02% / 1.91%.
-    assert!(avg(&fps_errors) < 0.08, "avg FPS error {:.3}", avg(&fps_errors));
-    assert!(avg(&eff_errors) < 0.08, "avg eff error {:.3}", avg(&eff_errors));
+    // Average errors must be small: Sec. VI reports 2.02% average FPS error
+    // (Fig. 6) and 1.91% average efficiency error (Fig. 7); 8% keeps
+    // headroom for the coarser stub-RNG search while staying "single digit".
+    assert!(
+        avg(&fps_errors) < 0.08,
+        "avg FPS error {:.3}",
+        avg(&fps_errors)
+    );
+    assert!(
+        avg(&eff_errors) < 0.08,
+        "avg eff error {:.3}",
+        avg(&eff_errors)
+    );
     // And non-zero: the simulator models effects the estimator ignores.
     assert!(avg(&fps_errors) > 0.0);
 }

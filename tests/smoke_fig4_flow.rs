@@ -1,0 +1,58 @@
+//! Fast end-to-end smoke test of the Fig. 4 automation flow (Analysis →
+//! Construction → Optimization → report) on a deliberately tiny two-branch
+//! network. The paper's decoder flows take seconds under the full DSE; this
+//! one must stay under a second so CI catches pipeline regressions cheaply.
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_accel::Platform;
+use fcad_nnir::{BiasKind, NetworkBuilder, Precision, TensorShape};
+use std::time::{Duration, Instant};
+
+#[test]
+fn tiny_two_branch_flow_completes_quickly() {
+    let start = Instant::now();
+
+    // A miniature codec-avatar-style decoder: one geometry-like branch and
+    // one texture-like branch, two up-sampling conv blocks each.
+    let mut b = NetworkBuilder::new("smoke-decoder");
+    let geometry = b.add_branch("geometry", TensorShape::flat(64));
+    b.reshape(geometry, TensorShape::chw(4, 4, 4)).unwrap();
+    b.cau_block(geometry, 8, 3, BiasKind::PerChannel).unwrap();
+    b.cau_block(geometry, 4, 3, BiasKind::PerChannel).unwrap();
+
+    let texture = b.add_branch("texture", TensorShape::flat(128));
+    b.reshape(texture, TensorShape::chw(8, 4, 4)).unwrap();
+    b.cau_block(texture, 16, 3, BiasKind::PerChannel).unwrap();
+    b.cau_block(texture, 8, 3, BiasKind::PerChannel).unwrap();
+
+    let network = b.build().unwrap();
+    assert_eq!(network.branch_count(), 2);
+
+    // Full flow: profile → construct → DSE → report.
+    let platform = Platform::z7045();
+    let result = Fcad::new(network, platform.clone())
+        .with_customization(Customization::uniform(2, Precision::Int8))
+        .with_dse_params(DseParams::fast())
+        .run()
+        .expect("smoke flow succeeds");
+
+    // Analysis: both branches profiled with non-zero work.
+    assert_eq!(result.profile.branches().len(), 2);
+    assert!(result.profile.branches().iter().all(|br| br.ops() > 0));
+
+    // Construction: the elastic accelerator mirrors the branch structure.
+    assert_eq!(result.accelerator.branch_count(), 2);
+
+    // Optimization: the best design fits the platform and does useful work.
+    let report = result.report();
+    assert!(report.fits(platform.budget()));
+    assert_eq!(report.branches.len(), 2);
+    assert!(result.min_fps() > 0.0, "min fps {}", result.min_fps());
+    assert!(result.efficiency() > 0.0);
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "smoke flow took {elapsed:?}, budget is 1s"
+    );
+}

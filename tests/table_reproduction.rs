@@ -14,6 +14,8 @@ fn table1_decoder_totals_match_the_paper() {
     let profile = NetworkProfile::of(&targeted_decoder());
     let gop = profile.total_ops() as f64 / 1e9;
     let mparams = profile.total_params() as f64 / 1e6;
+    // Table I totals for the targeted decoder: 13.6 GOP and 7.2 M
+    // parameters; 5% covers rounding in the paper's per-branch figures.
     assert!((gop - 13.6).abs() / 13.6 < 0.05, "GOP {gop:.2}");
     assert!((mparams - 7.2).abs() / 7.2 < 0.05, "params {mparams:.2}M");
 }
@@ -24,7 +26,11 @@ fn table2_soc_is_memory_bound_and_inefficient() {
     // Paper: 35.8 FPS at 16.9% efficiency — too slow for 90 FPS VR and an
     // order of magnitude less efficient than a good FPGA design.
     assert!(soc.fps < 90.0, "SoC fps {:.1}", soc.fps);
-    assert!(soc.efficiency < 0.30, "SoC efficiency {:.2}", soc.efficiency);
+    assert!(
+        soc.efficiency < 0.30,
+        "SoC efficiency {:.2}",
+        soc.efficiency
+    );
 }
 
 #[test]
@@ -146,5 +152,9 @@ fn fcad_reaches_vr_class_throughput_on_the_largest_fpga() {
         "expected VR-class throughput, got {:.1} FPS",
         result.min_fps()
     );
-    assert!(result.efficiency() > 0.7, "efficiency {:.2}", result.efficiency());
+    assert!(
+        result.efficiency() > 0.7,
+        "efficiency {:.2}",
+        result.efficiency()
+    );
 }

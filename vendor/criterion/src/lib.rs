@@ -1,0 +1,108 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::default().sample_size(n)`, `bench_function` + `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. The build container
+//! has no crates.io access. Timings are wall-clock means without criterion's
+//! statistical machinery — good enough to regenerate the paper tables and to
+//! keep `cargo bench` runnable; swap back to the real crate for publication-
+//! quality measurements.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `routine` against a [`Bencher`] and print a one-line mean timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            total_nanos: 0.0,
+            iters: 0,
+        };
+        routine(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total_nanos / bencher.iters as f64
+        };
+        println!(
+            "bench {id:<48} {mean:>14.1} ns/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Stand-in for `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    total_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, once per configured sample (plus one untimed warm-up).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            black_box(out);
+            self.total_nanos += elapsed.as_nanos() as f64;
+            self.iters += 1;
+        }
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!` (both the struct-like and the
+/// plain form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

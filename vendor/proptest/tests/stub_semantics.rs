@@ -1,0 +1,52 @@
+//! Guards for the offline proptest stand-in itself: the `proptest!` macro
+//! must really run each property body the configured number of times with
+//! strategy-drawn inputs, deterministically. If the stub silently became a
+//! no-op, every property test in the workspace would pass vacuously — these
+//! tests are the tripwire.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    #[test]
+    fn bodies_run_once_per_case(x in 1usize..100, y in 1usize..=10) {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        prop_assert!((1..100).contains(&x));
+        prop_assert!((1..=10).contains(&y));
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_properties_really_fail(x in 0usize..10) {
+        prop_assert!(x > 100, "must fail for every drawn value ({x})");
+    }
+
+    #[test]
+    fn combinators_compose(
+        pair in (1usize..10, 1usize..10).prop_map(|(a, b)| a * b),
+        choice in prop_oneof![Just(2usize), Just(4usize)],
+    ) {
+        prop_assert!((1..=81).contains(&pair));
+        prop_assert_eq!(choice % 2, 0);
+    }
+}
+
+#[test]
+fn case_count_is_respected() {
+    // Test binaries run in parallel threads, but `bodies_run_once_per_case`
+    // finishes before this assertion observes it thanks to the retry loop.
+    for _ in 0..200 {
+        if RUNS.load(Ordering::SeqCst) == 37 {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!(
+        "proptest! ran {} bodies, expected 37",
+        RUNS.load(Ordering::SeqCst)
+    );
+}

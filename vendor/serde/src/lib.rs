@@ -1,0 +1,20 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no crates.io access. The F-CAD crates only ever
+//! use `#[derive(Serialize, Deserialize)]` as forward-looking annotations —
+//! nothing in the repo serializes yet — so marker traits with blanket impls
+//! plus no-op derives are fully API-compatible for our purposes. When the
+//! real crates.io `serde` is reachable, deleting `vendor/` and the path
+//! overrides in the root `Cargo.toml` restores the real dependency with no
+//! source changes.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! no-op derive pair. `vendor/serde` provides blanket `Serialize` /
+//! `Deserialize` impls, which makes an empty expansion sufficient for every
+//! `#[derive(Serialize, Deserialize)]` in this repository.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
