@@ -134,6 +134,19 @@ impl Platform {
         )
     }
 
+    /// Xilinx ZCU104 evaluation board (Zynq UltraScale+ ZU7EV), a common
+    /// edge-inference target between the Z7045 and ZU17EG schemes: 1728
+    /// DSPs, 624 BRAM18K (312 BRAM36), 64-bit DDR4-2400 at 19.2 GB/s,
+    /// 200 MHz.
+    pub fn zcu104() -> Self {
+        Self::new(
+            "ZCU104",
+            PlatformKind::Fpga,
+            ResourceBudget::new(1728, 624, 19.2),
+            200.0,
+        )
+    }
+
     /// Xilinx KU115, the board used for the Fig. 6/7 estimation-accuracy
     /// study: 5520 DSPs, 4320 BRAM18K, 200 MHz.
     pub fn ku115() -> Self {
@@ -236,6 +249,17 @@ mod tests {
         for p in Platform::evaluation_schemes() {
             assert_eq!(p.frequency_mhz(), 200.0);
         }
+    }
+
+    #[test]
+    fn zcu104_budget_is_pinned() {
+        let zcu104 = Platform::zcu104();
+        assert_eq!(zcu104.name(), "ZCU104");
+        assert_eq!(zcu104.kind(), PlatformKind::Fpga);
+        assert_eq!(zcu104.budget().dsp, 1728);
+        assert_eq!(zcu104.budget().bram, 624);
+        assert!((zcu104.budget().bandwidth_bytes_per_sec - 19.2e9).abs() < 1.0);
+        assert_eq!(zcu104.frequency_mhz(), 200.0);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Benchmarks the multi-session serving simulator: the four-scenario suite
+//! on a DSE-optimized ZU17EG decoder accelerator, plus a scheduler
+//! head-to-head on the mixed-priority chaos scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_nnir::Precision;
+use fcad_serve::{simulate, Scenario, SchedulerKind};
+
+fn bench(c: &mut Criterion) {
+    // Optimize the design once; benches time only the serving simulation.
+    let result = fcad_bench::run_case(&Platform::zu17eg(), Precision::Int8, false);
+    let model = result.service_model();
+    for scenario in Scenario::suite() {
+        let report = simulate(&model, &scenario, SchedulerKind::BatchAggregating);
+        println!("{}", report.to_json_line());
+        c.bench_function(&format!("serve/{}/batch", scenario.name), |b| {
+            b.iter(|| simulate(&model, &scenario, SchedulerKind::BatchAggregating))
+        });
+    }
+    let chaos = Scenario::b2();
+    for kind in SchedulerKind::all() {
+        let name = kind.build().name();
+        c.bench_function(&format!("serve/{}/{}", chaos.name, name), |b| {
+            b.iter(|| simulate(&model, &chaos, kind))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

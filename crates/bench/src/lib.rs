@@ -428,6 +428,53 @@ pub fn convergence(runs: usize, full: bool) -> String {
     )
 }
 
+/// Machine-readable run summary: one F-CAD case (ZU17EG, 8-bit) plus the
+/// four-scenario serving suite, rendered as a single JSON line — the
+/// machine-readable-output idiom of the WIND bench harness (`reproduce`
+/// prints this as its final line).
+pub fn summary(full: bool) -> String {
+    let platform = Platform::zu17eg();
+    summary_of(&run_case(&platform, Precision::Int8, full), &platform)
+}
+
+/// [`summary`] over an already-optimized design, so callers that ran the
+/// case for other output (e.g. `reproduce --serve`) don't pay for the DSE
+/// twice.
+pub fn summary_of(result: &FcadResult, platform: &Platform) -> String {
+    use fcad_serve::json::{array, JsonObject};
+    use fcad_serve::Scenario;
+
+    let report = result.report();
+    let scenarios: Vec<String> = Scenario::suite()
+        .iter()
+        .map(|scenario| {
+            let serve = result.serve(scenario);
+            JsonObject::new()
+                .str("scenario", &serve.scenario)
+                .str("scheduler", &serve.scheduler)
+                .u64("issued", serve.issued)
+                .f64("throughput_rps", serve.throughput_rps)
+                .f64("drop_rate", serve.drop_rate)
+                .f64("p50_ms", serve.latency.p50_ms)
+                .f64("p99_ms", serve.latency.p99_ms)
+                .render()
+        })
+        .collect();
+    JsonObject::new()
+        .str("experiment", "fcad_repro_summary")
+        .str("platform", platform.name())
+        .f64("min_fps", report.min_fps)
+        .f64("efficiency", report.overall_efficiency)
+        .u64("dsp", report.total_usage.dsp as u64)
+        .u64("bram", report.total_usage.bram as u64)
+        .u64(
+            "dse_convergence_iteration",
+            result.dse.convergence_iteration as u64,
+        )
+        .raw("serve", &array(&scenarios))
+        .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

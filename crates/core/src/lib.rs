@@ -22,6 +22,12 @@
 //! are compared against the cycle-level simulator that stands in for the
 //! paper's board measurements.
 //!
+//! Beyond the paper's static evaluation, an optimized design can be put
+//! under multi-session telepresence load: [`FcadResult::serve`] runs the
+//! `fcad-serve` discrete-event simulator (arrival patterns, pluggable
+//! schedulers, tail-latency percentiles) on the design's frame times — see
+//! [`Scenario`] for the `a1`/`a2`/`b1`/`b2` scenario suite.
+//!
 //! # Quick start
 //!
 //! ```
@@ -45,6 +51,7 @@ mod construction;
 mod error;
 mod flow;
 mod report;
+mod serve;
 mod validate;
 
 pub use construction::{BranchConstruction, Construction};
@@ -56,3 +63,4 @@ pub use validate::{BranchValidation, ValidationReport};
 // Re-export the types users need to drive the flow without importing every
 // sub-crate explicitly.
 pub use fcad_dse::{Customization, DseParams, DseResult};
+pub use fcad_serve::{Scenario, SchedulerKind, ServeReport, ServiceModel};

@@ -1,0 +1,124 @@
+//! Serving extension of the flow: turn an optimized design into a
+//! multi-session telepresence serving simulation.
+//!
+//! `Fcad::run()?.serve(&scenario)` feeds the DSE-optimized design's
+//! per-branch frame times (and the customization's branch priorities)
+//! straight into the `fcad-serve` discrete-event simulator, answering the
+//! question the static report cannot: what do N concurrent avatar sessions
+//! actually experience on this accelerator?
+
+use crate::flow::FcadResult;
+use fcad_cyclesim::Simulator;
+use fcad_serve::{simulate, Scenario, SchedulerKind, ServeReport, ServiceModel};
+
+impl FcadResult {
+    /// The analytical service model of the best design: per-branch frame
+    /// times from the accelerator report (Eq. 5 throughput, critical-stage
+    /// fill) and priorities from the customization.
+    pub fn service_model(&self) -> ServiceModel {
+        ServiceModel::from_report(self.report(), self.accelerator.frequency_hz())
+            .with_priorities(&self.customization.priorities)
+    }
+
+    /// The cycle-level-calibrated service model: frame times measured by
+    /// the `fcad-cyclesim` pipeline simulator (including weight-fetch
+    /// stalls the analytical model ignores) at the given external-memory
+    /// bandwidth.
+    pub fn calibrated_service_model(&self, bandwidth_bytes_per_sec: f64) -> ServiceModel {
+        let simulator = Simulator::for_accelerator(&self.accelerator, bandwidth_bytes_per_sec);
+        let sim = simulator.simulate_accelerator(&self.accelerator, &self.dse.best_config);
+        ServiceModel::from_simulation(&sim, self.accelerator.frequency_hz())
+            .with_priorities(&self.customization.priorities)
+    }
+
+    /// Simulates serving `scenario` on the optimized design with the
+    /// default batch-aggregating scheduler.
+    pub fn serve(&self, scenario: &Scenario) -> ServeReport {
+        self.serve_with(scenario, SchedulerKind::BatchAggregating)
+    }
+
+    /// Simulates serving `scenario` under an explicit scheduling
+    /// discipline.
+    pub fn serve_with(&self, scenario: &Scenario, kind: SchedulerKind) -> ServeReport {
+        simulate(&self.service_model(), scenario, kind)
+    }
+
+    /// [`FcadResult::serve_with`] on the cycle-level-calibrated service
+    /// model instead of the analytical one.
+    pub fn serve_calibrated(
+        &self,
+        scenario: &Scenario,
+        kind: SchedulerKind,
+        bandwidth_bytes_per_sec: f64,
+    ) -> ServeReport {
+        simulate(
+            &self.calibrated_service_model(bandwidth_bytes_per_sec),
+            scenario,
+            kind,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Customization, DseParams, Fcad};
+    use fcad_accel::Platform;
+    use fcad_nnir::models::targeted_decoder;
+    use fcad_nnir::Precision;
+
+    fn optimized() -> FcadResult {
+        Fcad::new(targeted_decoder(), Platform::zu17eg())
+            .with_customization(Customization::codec_avatar(Precision::Int8))
+            .with_dse_params(DseParams::fast())
+            .run()
+            .expect("decoder flow succeeds")
+    }
+
+    #[test]
+    fn service_model_mirrors_the_report() {
+        let result = optimized();
+        let model = result.service_model();
+        assert_eq!(model.branch_count(), result.report().branches.len());
+        for (service, branch) in model.branches.iter().zip(&result.report().branches) {
+            assert_eq!(service.name, branch.name);
+            assert_eq!(service.max_batch, branch.batch_size);
+            assert!(service.frame_time_us >= 1);
+            // Frame time is the reciprocal of the branch throughput.
+            let fps_from_model = 1e6 / service.frame_time_us as f64;
+            assert!((fps_from_model - branch.fps).abs() / branch.fps < 0.05);
+        }
+    }
+
+    #[test]
+    fn serving_the_baseline_scenario_conserves_requests() {
+        let result = optimized();
+        let report = result.serve(&Scenario::a1());
+        assert!(report.conserves_requests());
+        assert!(report.completed > 0);
+        assert!(report.latency.p99_ms >= report.latency.p50_ms);
+    }
+
+    #[test]
+    fn calibrated_model_is_no_faster_than_the_analytical_one() {
+        let result = optimized();
+        let bandwidth = Platform::zu17eg().budget().bandwidth_bytes_per_sec;
+        let analytical = result.service_model();
+        let calibrated = result.calibrated_service_model(bandwidth);
+        assert_eq!(analytical.branch_count(), calibrated.branch_count());
+        for (a, c) in analytical.branches.iter().zip(&calibrated.branches) {
+            // The cycle-level simulator adds tile overheads and weight
+            // stalls, so its frame times can only be equal or slower.
+            assert!(
+                c.frame_time_us as f64 >= a.frame_time_us as f64 * 0.99,
+                "{}: calibrated {} µs vs analytical {} µs",
+                a.name,
+                c.frame_time_us,
+                a.frame_time_us
+            );
+        }
+        let report =
+            result.serve_calibrated(&Scenario::a1(), SchedulerKind::BatchAggregating, bandwidth);
+        assert!(report.conserves_requests());
+    }
+}

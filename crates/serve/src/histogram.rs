@@ -1,0 +1,166 @@
+//! Fixed-bucket latency histogram with percentile extraction (the
+//! tail-behaviour bookkeeping idiom of the WIND bench harness).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fixed-width buckets; latencies beyond the last bucket land in
+/// an overflow bucket and are reported as the observed maximum.
+const BUCKETS: usize = 8192;
+
+/// Width of one bucket, µs (2 ms — avatar frame times are milliseconds and
+/// overload queueing reaches seconds, so the histogram covers ~16 s before
+/// overflowing).
+const BUCKET_WIDTH_US: u64 = 2_000;
+
+/// A latency histogram with `BUCKETS` fixed 2 ms buckets plus overflow.
+///
+/// Percentiles are read from the cumulative distribution and reported as
+/// the upper edge of the bucket where the requested rank falls, which makes
+/// `percentile(p)` monotone in `p` by construction (p99 ≥ p95 ≥ p50).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            overflow: 0,
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency observation, µs.
+    pub fn record(&mut self, latency_us: u64) {
+        let bucket = (latency_us / BUCKET_WIDTH_US) as usize;
+        if bucket < BUCKETS {
+            self.counts[bucket] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum_us += latency_us;
+        self.max_us = self.max_us.max(latency_us);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), in milliseconds: the upper edge
+    /// of the bucket containing the rank, or the observed maximum for ranks
+    /// in the overflow bucket. Returns 0 for an empty histogram.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Clamp to the observed maximum so a percentile can never
+                // exceed `max_ms` when every observation sits low in its
+                // bucket.
+                let edge_ms = ((bucket as u64 + 1) * BUCKET_WIDTH_US) as f64 / 1_000.0;
+                return edge_ms.min(self.max_ms());
+            }
+        }
+        self.max_ms()
+    }
+
+    /// Mean latency, milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64 / 1_000.0
+        }
+    }
+
+    /// Maximum observed latency, milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_ms(50.0), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for latency_ms in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 200] {
+            h.record(latency_ms * 1_000);
+        }
+        let p50 = h.percentile_ms(50.0);
+        let p95 = h.percentile_ms(95.0);
+        let p99 = h.percentile_ms(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        assert!(p99 <= h.max_ms() + 2.0);
+    }
+
+    #[test]
+    fn rank_lands_in_the_right_bucket() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast observations, one slow outlier.
+        for _ in 0..99 {
+            h.record(500);
+        }
+        h.record(100_000);
+        assert_eq!(h.percentile_ms(50.0), 2.0); // upper edge of bucket 0
+        assert_eq!(h.percentile_ms(99.0), 2.0);
+        assert_eq!(h.percentile_ms(100.0), 100.0); // bucket edge clamped to max
+    }
+
+    #[test]
+    fn percentiles_never_exceed_the_observed_max() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(500); // all observations low in bucket 0
+        }
+        assert_eq!(h.percentile_ms(50.0), 0.5);
+        assert_eq!(h.percentile_ms(99.0), 0.5);
+    }
+
+    #[test]
+    fn overflow_falls_back_to_the_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(60_000_000); // 60 s, beyond the 16.4 s histogram range
+        assert_eq!(h.percentile_ms(99.0), 60_000.0);
+        assert_eq!(h.max_ms(), 60_000.0);
+    }
+
+    #[test]
+    fn mean_tracks_the_sum() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        h.record(3_000);
+        assert_eq!(h.mean_ms(), 2.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal single-line JSON emission.
+//!
+//! The workspace's offline `serde` stand-in only provides marker traits, so
+//! machine-readable output is rendered by this tiny writer instead of
+//! `serde_json`. Output is deterministic: fields appear in insertion order
+//! and floats use fixed four-decimal formatting.
+
+/// Builds one JSON object as a single-line string.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escapes quotes and backslashes).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a float field with four decimals (non-finite values become 0).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.fields.push(format!("\"{}\":{value:.4}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object or array) verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Renders the object as `{"k":v,...}` on a single line.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders a JSON array from pre-rendered element strings.
+pub fn array(elements: &[String]) -> String {
+    format!("[{}]", elements.join(","))
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_typed_fields_in_insertion_order() {
+        let line = JsonObject::new()
+            .str("name", "a1")
+            .u64("issued", 42)
+            .f64("p99_ms", 1.25)
+            .raw("branches", &array(&["{\"x\":1}".to_owned()]))
+            .render();
+        assert_eq!(
+            line,
+            "{\"name\":\"a1\",\"issued\":42,\"p99_ms\":1.2500,\"branches\":[{\"x\":1}]}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_nonfinite_floats() {
+        let line = JsonObject::new()
+            .str("k", "say \"hi\"")
+            .f64("bad", f64::NAN)
+            .render();
+        assert_eq!(line, "{\"k\":\"say \\\"hi\\\"\",\"bad\":0.0000}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-session telepresence serving simulator for F-CAD accelerators.
+//!
+//! The paper's evaluation (Table V) scales one DSE-optimized decoder
+//! accelerator to 1, 3 and 5 concurrent avatars — but a static FPS number
+//! says little about what users experience when many sessions contend for
+//! the device. This crate closes that gap with a deterministic
+//! discrete-event simulation of avatar-decode traffic:
+//!
+//! - **Sessions & arrivals** ([`Scenario`], [`ArrivalPattern`]): N avatar
+//!   sessions emit one request per branch per frame, under steady, Poisson,
+//!   bursty or diurnal-ramp arrival processes, all reproducible from a
+//!   fixed seed.
+//! - **Scheduling** ([`Scheduler`], [`SchedulerKind`]): pluggable
+//!   disciplines — FIFO, priority-by-branch (visual branches outrank the
+//!   audio-like stream, with aging to bound starvation), and
+//!   batch-aggregation up to the DSE-chosen batch size.
+//! - **Service model** ([`ServiceModel`]): per-branch frame times taken
+//!   from the analytical [`fcad_accel::AcceleratorReport`] or, in the
+//!   calibrated mode, from the cycle-level simulator
+//!   ([`fcad_cyclesim::AcceleratorSim`]).
+//! - **Reporting** ([`ServeReport`]): throughput, utilization, drop rate
+//!   and p50/p95/p99 latency from a fixed-bucket histogram
+//!   ([`LatencyHistogram`]), rendered as a single machine-readable JSON
+//!   line.
+//!
+//! # Example
+//!
+//! ```
+//! use fcad_serve::{simulate, BranchService, Scenario, SchedulerKind, ServiceModel};
+//!
+//! let model = ServiceModel {
+//!     branches: vec![BranchService {
+//!         name: "texture".to_owned(),
+//!         frame_time_us: 4_000,
+//!         fill_time_us: 1_000,
+//!         max_batch: 2,
+//!         priority: 1.0,
+//!     }],
+//! };
+//! let report = simulate(&model, &Scenario::a1(), SchedulerKind::BatchAggregating);
+//! assert!(report.conserves_requests());
+//! assert!(report.latency.p99_ms >= report.latency.p50_ms);
+//! println!("{}", report.to_json_line());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod histogram;
+pub mod json;
+mod model;
+mod report;
+mod request;
+mod scenario;
+mod scheduler;
+
+pub use engine::{simulate, simulate_with};
+pub use histogram::LatencyHistogram;
+pub use model::{BranchService, ServiceModel};
+pub use report::{BranchServeStats, LatencySummary, ServeReport};
+pub use request::Request;
+pub use scenario::{ArrivalPattern, Scenario};
+pub use scheduler::{BatchScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind};

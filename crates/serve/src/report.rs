@@ -1,0 +1,194 @@
+//! Serving-run reports: throughput, utilization, drops and latency
+//! percentiles, per accelerator and per branch.
+
+use crate::histogram::LatencyHistogram;
+use crate::json::{array, JsonObject};
+use serde::{Deserialize, Serialize};
+
+/// Latency summary extracted from a fixed-bucket histogram, milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Maximum observed latency.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Reads the summary out of a histogram.
+    pub fn of(histogram: &LatencyHistogram) -> Self {
+        Self {
+            p50_ms: histogram.percentile_ms(50.0),
+            p95_ms: histogram.percentile_ms(95.0),
+            p99_ms: histogram.percentile_ms(99.0),
+            mean_ms: histogram.mean_ms(),
+            max_ms: histogram.max_ms(),
+        }
+    }
+}
+
+/// Serving statistics of one branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchServeStats {
+    /// Branch name.
+    pub name: String,
+    /// Effective priority weight the run used for this branch.
+    pub priority: f64,
+    /// Requests issued for this branch.
+    pub issued: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped at admission (queue full).
+    pub dropped: u64,
+    /// Latency summary over completed requests.
+    pub latency: LatencySummary,
+}
+
+/// The outcome of one serving simulation: one scenario, one scheduler, one
+/// accelerator service model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheduling discipline name.
+    pub scheduler: String,
+    /// Scenario seed (same seed + same scenario ⇒ identical report).
+    pub seed: u64,
+    /// Concurrent avatar sessions.
+    pub sessions: usize,
+    /// Requests issued by the generators.
+    pub issued: u64,
+    /// Requests completed by the accelerator.
+    pub completed: u64,
+    /// Requests dropped at admission.
+    pub dropped: u64,
+    /// `dropped / issued` (0 when nothing was issued).
+    pub drop_rate: f64,
+    /// Time from simulation start (t = 0) to the last completion,
+    /// seconds.
+    pub makespan_sec: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Mean branch-pipeline occupancy over the makespan (1.0 = every
+    /// pipeline busy the whole run).
+    pub utilization: f64,
+    /// Latency summary over all completed requests.
+    pub latency: LatencySummary,
+    /// Per-branch statistics, in branch order.
+    pub branches: Vec<BranchServeStats>,
+}
+
+impl ServeReport {
+    /// Sanity invariant: every issued request is accounted for.
+    pub fn conserves_requests(&self) -> bool {
+        self.completed + self.dropped == self.issued
+            && self
+                .branches
+                .iter()
+                .all(|b| b.completed + b.dropped == b.issued)
+    }
+
+    /// Statistics of the branch with the given index.
+    pub fn branch(&self, index: usize) -> Option<&BranchServeStats> {
+        self.branches.get(index)
+    }
+
+    /// Renders the report as one machine-readable JSON line.
+    pub fn to_json_line(&self) -> String {
+        let branches: Vec<String> = self
+            .branches
+            .iter()
+            .map(|b| {
+                JsonObject::new()
+                    .str("name", &b.name)
+                    .f64("priority", b.priority)
+                    .u64("issued", b.issued)
+                    .u64("completed", b.completed)
+                    .u64("dropped", b.dropped)
+                    .f64("p50_ms", b.latency.p50_ms)
+                    .f64("p99_ms", b.latency.p99_ms)
+                    .f64("max_ms", b.latency.max_ms)
+                    .render()
+            })
+            .collect();
+        JsonObject::new()
+            .str("scenario", &self.scenario)
+            .str("scheduler", &self.scheduler)
+            .u64("seed", self.seed)
+            .u64("sessions", self.sessions as u64)
+            .u64("issued", self.issued)
+            .u64("completed", self.completed)
+            .u64("dropped", self.dropped)
+            .f64("drop_rate", self.drop_rate)
+            .f64("makespan_sec", self.makespan_sec)
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("utilization", self.utilization)
+            .f64("p50_ms", self.latency.p50_ms)
+            .f64("p95_ms", self.latency.p95_ms)
+            .f64("p99_ms", self.latency.p99_ms)
+            .f64("mean_ms", self.latency.mean_ms)
+            .f64("max_ms", self.latency.max_ms)
+            .raw("branches", &array(&branches))
+            .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            scenario: "a1_baseline".into(),
+            scheduler: "batch".into(),
+            seed: 7,
+            sessions: 1,
+            issued: 10,
+            completed: 9,
+            dropped: 1,
+            drop_rate: 0.1,
+            makespan_sec: 1.0,
+            throughput_rps: 9.0,
+            utilization: 0.5,
+            latency: LatencySummary::default(),
+            branches: vec![BranchServeStats {
+                name: "texture".into(),
+                priority: 1.0,
+                issued: 10,
+                completed: 9,
+                dropped: 1,
+                latency: LatencySummary::default(),
+            }],
+        }
+    }
+
+    #[test]
+    fn conservation_checks_totals_and_branches() {
+        let mut r = report();
+        assert!(r.conserves_requests());
+        r.completed = 8;
+        assert!(!r.conserves_requests());
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_carries_key_fields() {
+        let line = report().to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in [
+            "\"scenario\":\"a1_baseline\"",
+            "\"scheduler\":\"batch\"",
+            "\"issued\":10",
+            "\"p99_ms\":",
+            "\"branches\":[{",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+}

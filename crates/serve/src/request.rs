@@ -1,0 +1,49 @@
+//! Decode requests: the unit of work the serving simulator schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// One branch-decode request: "produce the next frame of branch `branch` for
+/// avatar session `session`".
+///
+/// A telepresence session needs every branch output (geometry, texture,
+/// warp field, …) each avatar frame, so the generators emit one request per
+/// branch per session frame; the scheduler is then free to reorder or batch
+/// them across sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Globally unique, assigned in arrival order (ties broken by session
+    /// then branch, so ids are deterministic for a given scenario).
+    pub id: u64,
+    /// Avatar session the request belongs to.
+    pub session: usize,
+    /// Branch whose output is requested.
+    pub branch: usize,
+    /// Arrival time, microseconds since simulation start.
+    pub issued_at_us: u64,
+}
+
+impl Request {
+    /// Latency of this request if it completes at `done_us`, in
+    /// microseconds.
+    pub fn latency_us(&self, done_us: u64) -> u64 {
+        done_us.saturating_sub(self.issued_at_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_completion_minus_arrival() {
+        let r = Request {
+            id: 0,
+            session: 0,
+            branch: 1,
+            issued_at_us: 1_000,
+        };
+        assert_eq!(r.latency_us(3_500), 2_500);
+        // Completion can never precede arrival; saturate rather than wrap.
+        assert_eq!(r.latency_us(500), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Serving scenarios: who connects, when requests arrive, and how much
+//! queueing the front-end tolerates.
+//!
+//! Arrival generation is fully deterministic: every stochastic pattern draws
+//! from a [`rand::rngs::StdRng`] seeded from the scenario seed and the
+//! session index, so the same scenario always produces the same request
+//! trace (the reproducibility idiom of the WIND bench harness).
+
+use crate::request::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How session frame requests arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Fixed inter-arrival time `1/rate`, sessions phase-staggered so N
+    /// steady sessions do not all hit the accelerator in the same instant.
+    Steady,
+    /// Memoryless arrivals: exponential inter-arrival times at the session
+    /// frame rate.
+    Poisson,
+    /// On/off bursts: Poisson arrivals at `factor ×` the base rate during
+    /// the first `duty` fraction of every `period_sec` window, silence for
+    /// the rest.
+    Burst {
+        /// Length of one on/off cycle, seconds.
+        period_sec: f64,
+        /// Fraction of the period that is "on" (0, 1].
+        duty: f64,
+        /// Rate multiplier while "on".
+        factor: f64,
+    },
+    /// Deterministic diurnal ramp: the instantaneous rate climbs linearly
+    /// from `start_factor ×` to `end_factor ×` the base rate across the
+    /// scenario duration (a compressed day of traffic).
+    DiurnalRamp {
+        /// Rate multiplier at t = 0.
+        start_factor: f64,
+        /// Rate multiplier at t = duration.
+        end_factor: f64,
+    },
+}
+
+/// One serving scenario: N concurrent avatar sessions generating
+/// branch-decode requests against a single shared accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (used in reports and logs).
+    pub name: String,
+    /// RNG seed; identical seeds reproduce identical request traces and
+    /// therefore identical reports.
+    pub seed: u64,
+    /// Number of concurrent avatar sessions.
+    pub sessions: usize,
+    /// Per-session avatar frame rate, Hz (each frame issues one request per
+    /// branch).
+    pub frame_rate_hz: f64,
+    /// Arrival-generation window, seconds. The simulation itself runs until
+    /// the queue drains.
+    pub duration_sec: f64,
+    /// Arrival pattern.
+    pub arrival: ArrivalPattern,
+    /// Front-end queue capacity; arrivals that find the queue full are
+    /// dropped.
+    pub queue_capacity: usize,
+    /// Optional per-branch priority override (higher = more important).
+    /// `None` keeps the service model's priorities.
+    pub priorities: Option<Vec<f64>>,
+}
+
+impl Scenario {
+    /// `a1` — baseline: a single steady 10 Hz session, ample queue (the
+    /// time-multiplexed fabric re-streams per-identity weights on every
+    /// dispatch, so a single accelerator sustains roughly 12 avatar frames
+    /// per second on the paper's decoder designs).
+    pub fn a1() -> Self {
+        Self {
+            name: "a1_baseline".to_owned(),
+            seed: 0xF_CAD,
+            sessions: 1,
+            frame_rate_hz: 10.0,
+            duration_sec: 2.0,
+            arrival: ArrivalPattern::Steady,
+            queue_capacity: 256,
+            priorities: None,
+        }
+    }
+
+    /// `a2` — fan-out: `sessions` steady 10 Hz sessions share the
+    /// accelerator (the Table V multi-avatar scaling axis); five sessions
+    /// deliberately oversubscribe the fabric, so the bounded queue sheds
+    /// load.
+    pub fn a2(sessions: usize) -> Self {
+        Self {
+            name: format!("a2_fanout_{sessions}"),
+            sessions,
+            queue_capacity: 120,
+            ..Self::a1()
+        }
+    }
+
+    /// `b1` — Poisson burst: two sessions with memoryless 15 Hz arrivals
+    /// (about 1.5× the fabric's steady capacity in expectation).
+    pub fn b1() -> Self {
+        Self {
+            name: "b1_poisson_burst".to_owned(),
+            sessions: 2,
+            frame_rate_hz: 15.0,
+            arrival: ArrivalPattern::Poisson,
+            ..Self::a1()
+        }
+    }
+
+    /// `b2` — mixed-priority chaos: five bursty 10 Hz sessions on a tight
+    /// queue, where the visual branches outrank the low-priority
+    /// (audio-like) last branch, mirroring the paper's branch priorities.
+    pub fn b2() -> Self {
+        Self {
+            name: "b2_mixed_priority_chaos".to_owned(),
+            sessions: 5,
+            duration_sec: 2.5,
+            arrival: ArrivalPattern::Burst {
+                period_sec: 0.5,
+                duty: 0.5,
+                factor: 1.5,
+            },
+            queue_capacity: 96,
+            priorities: Some(vec![1.0, 1.0, 0.15]),
+            ..Self::a1()
+        }
+    }
+
+    /// Diurnal ramp: four sessions whose rate climbs from 30 % to 160 % of
+    /// the base rate over three seconds (a compressed day of traffic).
+    pub fn diurnal() -> Self {
+        Self {
+            name: "diurnal_ramp".to_owned(),
+            sessions: 4,
+            duration_sec: 3.0,
+            arrival: ArrivalPattern::DiurnalRamp {
+                start_factor: 0.3,
+                end_factor: 1.6,
+            },
+            queue_capacity: 384,
+            ..Self::a1()
+        }
+    }
+
+    /// The standard four-scenario suite (`a1`, `a2` with 5 sessions, `b1`,
+    /// `b2`) run by the example and the serving bench.
+    pub fn suite() -> Vec<Scenario> {
+        vec![Self::a1(), Self::a2(5), Self::b1(), Self::b2()]
+    }
+
+    /// Returns this scenario with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this scenario with a different session count.
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Generates the full request trace for `branches` branches, sorted by
+    /// arrival time (ties broken by session then branch) with ids assigned
+    /// in that order.
+    pub fn generate(&self, branches: usize) -> Vec<Request> {
+        let mut requests: Vec<Request> = Vec::new();
+        for session in 0..self.sessions {
+            for tick_us in self.session_ticks(session) {
+                for branch in 0..branches {
+                    requests.push(Request {
+                        id: 0,
+                        session,
+                        branch,
+                        issued_at_us: tick_us,
+                    });
+                }
+            }
+        }
+        requests.sort_by_key(|r| (r.issued_at_us, r.session, r.branch));
+        for (id, request) in requests.iter_mut().enumerate() {
+            request.id = id as u64;
+        }
+        requests
+    }
+
+    /// Frame-arrival times of one session, µs, strictly within the
+    /// generation window.
+    fn session_ticks(&self, session: usize) -> Vec<u64> {
+        let horizon_us = (self.duration_sec * 1e6) as u64;
+        let rate = self.frame_rate_hz;
+        if rate <= 0.0 || horizon_us == 0 {
+            return Vec::new();
+        }
+        // One independent deterministic stream per session. The session
+        // index is mixed through a SplitMix64-style finalizer: a plain
+        // `seed ^ session * GOLDEN` would collide with the RNG's own
+        // per-draw increment and turn sessions into shifted copies of one
+        // stream.
+        let mut rng = StdRng::seed_from_u64(session_seed(self.seed, session));
+        let mut ticks = Vec::new();
+        // Steady sessions start phase-staggered; stochastic ones at zero.
+        let mut t = match self.arrival {
+            ArrivalPattern::Steady => {
+                (session as f64 / self.sessions.max(1) as f64 / rate * 1e6) as u64
+            }
+            _ => 0,
+        };
+        while t < horizon_us {
+            let dt_us = match self.arrival {
+                ArrivalPattern::Steady => secs_to_us(1.0 / rate),
+                ArrivalPattern::Poisson => exponential_us(&mut rng, rate),
+                ArrivalPattern::Burst {
+                    period_sec,
+                    duty,
+                    factor,
+                } => {
+                    let period_us = secs_to_us(period_sec);
+                    let on_us = (period_us as f64 * duty.clamp(0.0, 1.0)) as u64;
+                    let phase = t % period_us;
+                    if phase < on_us.max(1) {
+                        exponential_us(&mut rng, rate * factor.max(f64::MIN_POSITIVE))
+                    } else {
+                        // Silent until the next window opens; no request at
+                        // this tick.
+                        t += period_us - phase;
+                        continue;
+                    }
+                }
+                ArrivalPattern::DiurnalRamp {
+                    start_factor,
+                    end_factor,
+                } => {
+                    let progress = t as f64 / horizon_us as f64;
+                    let factor = start_factor + (end_factor - start_factor) * progress;
+                    secs_to_us(1.0 / (rate * factor.max(1e-3)))
+                }
+            };
+            if t < horizon_us {
+                ticks.push(t);
+            }
+            t = t.saturating_add(dt_us.max(1));
+        }
+        ticks
+    }
+}
+
+/// Derives an independent per-session RNG seed (SplitMix64 finalizer).
+fn session_seed(seed: u64, session: usize) -> u64 {
+    let mut z = seed ^ (session as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential inter-arrival sample at `rate` events/second, µs, ≥ 1.
+fn exponential_us(rng: &mut StdRng, rate: f64) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    secs_to_us(-(1.0 - u).ln() / rate)
+}
+
+fn secs_to_us(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        for scenario in Scenario::suite() {
+            assert_eq!(scenario.generate(3), scenario.generate(3));
+        }
+        let a = Scenario::b1().with_seed(1).generate(3);
+        let b = Scenario::b1().with_seed(2).generate(3);
+        assert_ne!(a, b, "different seeds must shift Poisson arrivals");
+    }
+
+    #[test]
+    fn every_frame_issues_one_request_per_branch() {
+        let requests = Scenario::a1().generate(3);
+        assert_eq!(requests.len() % 3, 0);
+        // Steady 10 Hz for 2 s: ticks at 0, 0.1, …, all < 2 s = 20 frames.
+        assert_eq!(requests.len(), 20 * 3);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_times_sorted() {
+        let requests = Scenario::b2().generate(3);
+        assert!(!requests.is_empty());
+        for (i, pair) in requests.windows(2).enumerate() {
+            assert_eq!(pair[0].id, i as u64);
+            assert!(pair[0].issued_at_us <= pair[1].issued_at_us);
+        }
+    }
+
+    #[test]
+    fn burst_pattern_leaves_silent_windows() {
+        let scenario = Scenario::b2();
+        let (period_us, on_us) = match scenario.arrival {
+            ArrivalPattern::Burst {
+                period_sec, duty, ..
+            } => {
+                let period = (period_sec * 1e6) as u64;
+                ((period), (period as f64 * duty) as u64)
+            }
+            _ => unreachable!(),
+        };
+        for request in scenario.generate(1) {
+            assert!(
+                request.issued_at_us % period_us <= on_us,
+                "arrival at {} µs falls in an off window",
+                request.issued_at_us
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_ramp_accelerates_over_time() {
+        let requests = Scenario::diurnal().with_sessions(1).generate(1);
+        let horizon_us = (Scenario::diurnal().duration_sec * 1e6) as u64;
+        let first_half = requests
+            .iter()
+            .filter(|r| r.issued_at_us < horizon_us / 2)
+            .count();
+        let second_half = requests.len() - first_half;
+        assert!(
+            second_half > first_half,
+            "ramp-up must put more arrivals in the second half ({first_half} vs {second_half})"
+        );
+    }
+
+    #[test]
+    fn all_arrivals_respect_the_horizon() {
+        for scenario in Scenario::suite() {
+            let horizon_us = (scenario.duration_sec * 1e6) as u64;
+            for request in scenario.generate(3) {
+                assert!(request.issued_at_us < horizon_us);
+            }
+        }
+    }
+}

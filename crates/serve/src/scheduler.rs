@@ -1,0 +1,365 @@
+//! Pluggable scheduling disciplines for the shared accelerator.
+//!
+//! The engine owns admission (queue capacity and drops); schedulers own
+//! ordering and batching. All queued requests have already arrived, so a
+//! scheduler may inspect the whole queue when picking the next dispatch.
+
+use crate::model::ServiceModel;
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// A scheduling discipline: accepts admitted requests and, whenever the
+/// shared weight-streaming DMA is free, picks the next same-branch batch
+/// to dispatch.
+pub trait Scheduler {
+    /// Discipline name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Accepts an admitted request. `now_us` is the admission time.
+    fn enqueue(&mut self, request: Request, now_us: u64);
+
+    /// Number of queued requests.
+    fn queued(&self) -> usize;
+
+    /// Removes and returns the next batch to dispatch. All returned
+    /// requests target the same branch; the batch is non-empty whenever
+    /// `queued() > 0`. `branch_free_us[b]` is a readiness hint: the
+    /// earliest instant branch `b` can start (missing entries mean "ready
+    /// now"). The time-multiplexed engine passes an empty slice — every
+    /// branch is dispatchable the moment the fabric frees — but a future
+    /// spatial/sharded engine can use it to steer disciplines away from
+    /// busy pipelines.
+    fn next_batch(
+        &mut self,
+        model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request>;
+}
+
+/// The built-in disciplines, as a value users can pass around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Strict arrival order, one request per dispatch.
+    Fifo,
+    /// Highest-priority branch first (visual branches outrank audio), with
+    /// waiting-time aging so low-priority branches cannot starve.
+    PriorityByBranch,
+    /// Aggregates same-branch requests into batches up to the DSE-chosen
+    /// batch size, amortizing pipeline fill.
+    BatchAggregating,
+}
+
+impl SchedulerKind {
+    /// All built-in disciplines.
+    pub fn all() -> [SchedulerKind; 3] {
+        [
+            SchedulerKind::Fifo,
+            SchedulerKind::PriorityByBranch,
+            SchedulerKind::BatchAggregating,
+        ]
+    }
+
+    /// Instantiates the discipline.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerKind::PriorityByBranch => Box::new(PriorityScheduler::new()),
+            SchedulerKind::BatchAggregating => Box::new(BatchScheduler::new()),
+        }
+    }
+}
+
+/// Strict FIFO: one global queue, one request per dispatch (every dispatch
+/// pays the full pipeline-fill overhead).
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<Request>,
+}
+
+impl FifoScheduler {
+    /// Creates an empty FIFO queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn enqueue(&mut self, request: Request, _now_us: u64) {
+        self.queue.push_back(request);
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_batch(
+        &mut self,
+        _model: &ServiceModel,
+        _now_us: u64,
+        _branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        self.queue.pop_front().into_iter().collect()
+    }
+}
+
+/// Priority-by-branch: serves the branch whose head request has the highest
+/// `priority + aging_per_sec · wait` score, FIFO within a branch, one
+/// request per dispatch.
+///
+/// The aging term bounds starvation: a low-priority head's score grows
+/// linearly with its waiting time until it overtakes the high-priority
+/// branches. With `aging_per_sec = 0` the discipline degenerates to strict
+/// priorities.
+#[derive(Debug)]
+pub struct PriorityScheduler {
+    queues: Vec<VecDeque<Request>>,
+    queued: usize,
+    aging_per_sec: f64,
+}
+
+impl Default for PriorityScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PriorityScheduler {
+    /// Creates the discipline with the default aging rate of 0.25/s: a
+    /// low-priority request overtakes a fresh priority-1.0 request after
+    /// waiting `(1.0 - its priority) / 0.25` seconds (≈ 3.4 s for the 0.15
+    /// audio-like branch), so priorities dominate at frame timescales while
+    /// starvation stays bounded.
+    pub fn new() -> Self {
+        Self {
+            queues: Vec::new(),
+            queued: 0,
+            aging_per_sec: 0.25,
+        }
+    }
+
+    /// Replaces the aging rate (score points gained per second of waiting).
+    pub fn with_aging_per_sec(mut self, aging_per_sec: f64) -> Self {
+        self.aging_per_sec = aging_per_sec;
+        self
+    }
+
+    fn score(&self, branch: usize, head: &Request, model: &ServiceModel, now_us: u64) -> f64 {
+        let wait_sec = head.latency_us(now_us) as f64 / 1e6;
+        model.priority(branch) + self.aging_per_sec * wait_sec
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn enqueue(&mut self, request: Request, _now_us: u64) {
+        if request.branch >= self.queues.len() {
+            self.queues.resize_with(request.branch + 1, VecDeque::new);
+        }
+        self.queues[request.branch].push_back(request);
+        self.queued += 1;
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn next_batch(
+        &mut self,
+        model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        // Prefer branches whose pipeline is ready: committing the DMA to a
+        // busy pipeline would block every other branch for no gain. Only
+        // when every candidate is busy pick the one that frees soonest.
+        let mut best_ready: Option<(usize, f64)> = None;
+        let mut best_busy: Option<(usize, u64)> = None;
+        for (branch, queue) in self.queues.iter().enumerate() {
+            if let Some(head) = queue.front() {
+                let free_at = branch_free_us.get(branch).copied().unwrap_or(0);
+                if free_at <= now_us {
+                    let score = self.score(branch, head, model, now_us);
+                    // Strictly-greater keeps ties on the lowest branch
+                    // index, which keeps dispatch order deterministic.
+                    if best_ready.is_none_or(|(_, s)| score > s) {
+                        best_ready = Some((branch, score));
+                    }
+                } else if best_busy.is_none_or(|(_, f)| free_at < f) {
+                    best_busy = Some((branch, free_at));
+                }
+            }
+        }
+        match best_ready.map(|(b, _)| b).or(best_busy.map(|(b, _)| b)) {
+            Some(branch) => {
+                self.queued -= 1;
+                self.queues[branch].pop_front().into_iter().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Batch-aggregating: serves the branch whose head has waited longest
+/// (FIFO across branches at batch granularity) and dispatches up to the
+/// DSE-chosen batch size of that branch in one go, paying pipeline fill
+/// once per batch.
+#[derive(Debug, Default)]
+pub struct BatchScheduler {
+    queues: Vec<VecDeque<Request>>,
+    queued: usize,
+}
+
+impl BatchScheduler {
+    /// Creates the discipline with empty per-branch queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for BatchScheduler {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn enqueue(&mut self, request: Request, _now_us: u64) {
+        if request.branch >= self.queues.len() {
+            self.queues.resize_with(request.branch + 1, VecDeque::new);
+        }
+        self.queues[request.branch].push_back(request);
+        self.queued += 1;
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn next_batch(
+        &mut self,
+        model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        // Oldest head first among ready pipelines (FIFO across branches at
+        // batch granularity); fall back to the soonest-free branch when
+        // every pipeline is busy.
+        let candidate = |ready: bool| {
+            self.queues
+                .iter()
+                .enumerate()
+                .filter(|(branch, _)| {
+                    (branch_free_us.get(*branch).copied().unwrap_or(0) <= now_us) == ready
+                })
+                .filter_map(|(branch, queue)| queue.front().map(|head| (head.issued_at_us, branch)))
+                .min()
+        };
+        let oldest = candidate(true).or_else(|| candidate(false));
+        match oldest {
+            Some((_, branch)) => {
+                let take = model.max_batch(branch).min(self.queues[branch].len());
+                let batch: Vec<Request> = self.queues[branch].drain(..take).collect();
+                self.queued -= batch.len();
+                batch
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_model;
+
+    fn request(id: u64, branch: usize, issued_at_us: u64) -> Request {
+        Request {
+            id,
+            session: 0,
+            branch,
+            issued_at_us,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let model = test_model();
+        let mut fifo = FifoScheduler::new();
+        for (id, branch) in [(0, 2), (1, 0), (2, 1)] {
+            fifo.enqueue(request(id, branch, id * 10), id * 10);
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| fifo.next_batch(&model, 100, &[0; 3]).first().map(|r| r.id))
+                .take(3)
+                .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(fifo.queued(), 0);
+    }
+
+    #[test]
+    fn priority_serves_visual_branches_before_audio() {
+        let model = test_model(); // branch 2 has priority 0.2
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(0.0);
+        sched.enqueue(request(0, 2, 0), 0);
+        sched.enqueue(request(1, 0, 0), 0);
+        sched.enqueue(request(2, 1, 0), 0);
+        let first = sched.next_batch(&model, 0, &[0; 3])[0];
+        let second = sched.next_batch(&model, 0, &[0; 3])[0];
+        let third = sched.next_batch(&model, 0, &[0; 3])[0];
+        assert_eq!(first.branch, 0); // priority 1.0, lowest index wins the tie
+        assert_eq!(second.branch, 1);
+        assert_eq!(third.branch, 2);
+    }
+
+    #[test]
+    fn aging_lets_a_starving_branch_overtake() {
+        let model = test_model();
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(2.0);
+        // Audio request waiting 600 ms: score 0.2 + 2.0·0.6 = 1.4 beats a
+        // fresh visual request's 1.0.
+        sched.enqueue(request(0, 2, 0), 0);
+        sched.enqueue(request(1, 0, 600_000), 600_000);
+        let first = sched.next_batch(&model, 600_000, &[0; 3])[0];
+        assert_eq!(first.branch, 2, "aged audio request must be served first");
+    }
+
+    #[test]
+    fn batch_scheduler_aggregates_up_to_the_dse_batch_size() {
+        let model = test_model(); // branch 1 has max_batch 2
+        let mut sched = BatchScheduler::new();
+        for id in 0..3 {
+            sched.enqueue(request(id, 1, id * 5), id * 5);
+        }
+        let first = sched.next_batch(&model, 100, &[0; 3]);
+        assert_eq!(first.len(), 2, "batch limited by the DSE batch size");
+        assert_eq!(first[0].id, 0);
+        assert_eq!(first[1].id, 1);
+        let second = sched.next_batch(&model, 100, &[0; 3]);
+        assert_eq!(second.len(), 1);
+        assert_eq!(sched.queued(), 0);
+    }
+
+    #[test]
+    fn batch_scheduler_serves_the_oldest_head_first() {
+        let model = test_model();
+        let mut sched = BatchScheduler::new();
+        sched.enqueue(request(0, 1, 50), 50);
+        sched.enqueue(request(1, 0, 10), 50);
+        assert_eq!(sched.next_batch(&model, 60, &[0; 3])[0].branch, 0);
+    }
+
+    #[test]
+    fn kinds_build_their_disciplines() {
+        let names: Vec<&str> = SchedulerKind::all()
+            .iter()
+            .map(|k| k.build().name())
+            .collect();
+        assert_eq!(names, vec!["fifo", "priority", "batch"]);
+    }
+}
