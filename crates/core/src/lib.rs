@@ -63,4 +63,6 @@ pub use validate::{BranchValidation, ValidationReport};
 // Re-export the types users need to drive the flow without importing every
 // sub-crate explicitly.
 pub use fcad_dse::{Customization, DseParams, DseResult};
-pub use fcad_serve::{Scenario, SchedulerKind, ServeReport, ServiceModel};
+pub use fcad_serve::{
+    FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel, ShardStats,
+};

@@ -9,7 +9,10 @@
 
 use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
-use fcad_serve::{simulate, Scenario, SchedulerKind, ServeReport, ServiceModel};
+use fcad_serve::{
+    simulate, simulate_fleet, FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport,
+    ServiceModel,
+};
 
 impl FcadResult {
     /// The analytical service model of the best design: per-branch frame
@@ -53,6 +56,49 @@ impl FcadResult {
     ) -> ServeReport {
         simulate(
             &self.calibrated_service_model(bandwidth_bytes_per_sec),
+            scenario,
+            kind,
+        )
+    }
+
+    /// A homogeneous fleet of `shards` copies of this design's analytical
+    /// service model (round-robin until
+    /// [`FleetConfig::with_balancer`] says otherwise).
+    pub fn fleet_config(&self, shards: usize) -> FleetConfig {
+        FleetConfig::uniform(self.service_model(), shards)
+    }
+
+    /// Simulates serving `scenario` on a fleet of `shards` copies of the
+    /// optimized design under the given balancing policy and scheduling
+    /// discipline. A one-shard fleet reproduces [`FcadResult::serve_with`]
+    /// bit for bit (modulo the report's balancer name).
+    pub fn serve_fleet(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+    ) -> ServeReport {
+        simulate_fleet(
+            &self.fleet_config(shards).with_balancer(balancer),
+            scenario,
+            kind,
+        )
+    }
+
+    /// [`FcadResult::serve_fleet`] on the cycle-level-calibrated service
+    /// model instead of the analytical one.
+    pub fn serve_fleet_calibrated(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+        bandwidth_bytes_per_sec: f64,
+    ) -> ServeReport {
+        let model = self.calibrated_service_model(bandwidth_bytes_per_sec);
+        simulate_fleet(
+            &FleetConfig::uniform(model, shards).with_balancer(balancer),
             scenario,
             kind,
         )
@@ -120,5 +166,49 @@ mod tests {
         let report =
             result.serve_calibrated(&Scenario::a1(), SchedulerKind::BatchAggregating, bandwidth);
         assert!(report.conserves_requests());
+    }
+
+    #[test]
+    fn fleet_serving_conserves_and_scales_the_burst_tail_down() {
+        let result = optimized();
+        let chaos = Scenario::b2();
+        let one = result.serve_fleet(
+            &chaos,
+            1,
+            LoadBalancerKind::LeastLoaded,
+            SchedulerKind::BatchAggregating,
+        );
+        let four = result.serve_fleet(
+            &chaos,
+            4,
+            LoadBalancerKind::LeastLoaded,
+            SchedulerKind::BatchAggregating,
+        );
+        assert!(one.conserves_requests());
+        assert!(four.conserves_requests());
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(four.shard_count(), 4);
+        assert!(
+            four.latency.p99_ms < one.latency.p99_ms,
+            "4-shard p99 {} !< 1-shard p99 {}",
+            four.latency.p99_ms,
+            one.latency.p99_ms
+        );
+    }
+
+    #[test]
+    fn calibrated_fleet_serving_conserves_requests() {
+        let result = optimized();
+        let bandwidth = Platform::zu17eg().budget().bandwidth_bytes_per_sec;
+        let report = result.serve_fleet_calibrated(
+            &Scenario::b1_fleet(2),
+            2,
+            LoadBalancerKind::AffinityFirst,
+            SchedulerKind::BatchAggregating,
+            bandwidth,
+        );
+        assert!(report.conserves_requests());
+        assert_eq!(report.shard_count(), 2);
+        assert_eq!(report.balancer, "affinity");
     }
 }

@@ -1,37 +1,45 @@
-//! The deterministic discrete-event serving loop.
+//! The deterministic discrete-event serving loop, from one accelerator to
+//! a fleet of them.
 //!
-//! One accelerator serves every avatar session, time-multiplexed (Table V
-//! of the paper scales a single decoder accelerator to 1/3/5 concurrent
-//! avatars). Each codec-avatar session decodes with its own
-//! identity-specific weights, so a dispatch pays the branch's fill time
-//! (weight streaming plus pipeline refill) before its batch computes:
-//! `service = fill + batch × frame_time`. That fill term is exactly where
-//! the disciplines differ — FIFO pays it on every request, priority-by-
-//! branch spends it on the visual branches first, and batch aggregation
-//! amortizes it over the DSE-chosen batch size.
+//! Each shard is one accelerator serving its admitted sessions
+//! time-multiplexed (Table V of the paper scales a single decoder
+//! accelerator to 1/3/5 concurrent avatars). Each codec-avatar session
+//! decodes with its own identity-specific weights, so a dispatch pays the
+//! branch's fill time (weight streaming plus pipeline refill) before its
+//! batch computes: `service = fill + batch × frame_time`. That fill term is
+//! exactly where the disciplines differ — FIFO pays it on every request,
+//! priority-by-branch spends it on the visual branches first, and batch
+//! aggregation amortizes it over the DSE-chosen batch size.
 //!
-//! Because dispatches serialize on the shared fabric, the event loop needs
-//! no event heap: arrivals are pre-generated in time order and admitted as
-//! the clock advances past them, and the clock only ever moves to the next
-//! dispatch completion. Admission happens in arrival order against the
-//! live queue occupancy, so drops are exactly what a heap-based simulator
-//! would produce — just without any nondeterminism.
+//! The fleet loop needs no event heap: arrivals are pre-generated in time
+//! order, and the only other events are shard dispatch completions, one
+//! pending per shard. Every step processes the earliest event — arrivals
+//! win ties, and dispatches tie-break on the lowest shard index — so the
+//! whole simulation is a deterministic function of its inputs. Admission
+//! happens in arrival order against the chosen shard's live queue
+//! occupancy (the balancer picks the shard, the shard's bounded queue
+//! takes the drop), which is exactly what a heap-based simulator would
+//! produce, without any nondeterminism.
+//!
+//! The single-device [`simulate`]/[`simulate_with`] path *is* the
+//! one-shard special case of [`simulate_fleet_with`]: same loop, same
+//! admission order, same arithmetic, bit-identical reports.
 
+use crate::fleet::{Balancer, FleetConfig, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
-use crate::report::{BranchServeStats, LatencySummary, ServeReport};
+use crate::report::{BranchServeStats, LatencySummary, ServeReport, ShardStats};
 use crate::scenario::Scenario;
 use crate::scheduler::{Scheduler, SchedulerKind};
 
-/// Runs `scenario` against `model` under the given discipline and returns
-/// the aggregated report.
+/// Runs `scenario` against a single accelerator `model` under the given
+/// discipline and returns the aggregated report.
 ///
 /// Scenario priority overrides (if any) replace the model's per-branch
 /// priorities for the run. Identical `(model, scenario, kind)` inputs
-/// produce identical reports.
+/// produce identical reports. This is exactly the one-shard fleet.
 pub fn simulate(model: &ServiceModel, scenario: &Scenario, kind: SchedulerKind) -> ServeReport {
-    let mut scheduler = kind.build();
-    simulate_with(model, scenario, scheduler.as_mut())
+    simulate_fleet(&FleetConfig::uniform(model.clone(), 1), scenario, kind)
 }
 
 /// [`simulate`] with a caller-provided scheduler (for custom disciplines or
@@ -41,73 +49,171 @@ pub fn simulate_with(
     scenario: &Scenario,
     scheduler: &mut dyn Scheduler,
 ) -> ServeReport {
-    let model = match &scenario.priorities {
-        Some(priorities) => model.clone().with_priorities(priorities),
-        None => model.clone(),
-    };
-    let branch_count = model.branch_count();
-    let arrivals = scenario.generate(branch_count);
+    let config = FleetConfig::uniform(model.clone(), 1);
+    let mut one: [Box<dyn Scheduler + '_>; 1] = [Box::new(scheduler)];
+    simulate_fleet_with(&config, scenario, &mut one)
+}
 
+/// Runs `scenario` against a fleet of accelerator shards, each scheduled by
+/// a fresh instance of `kind`, with `config.balancer` placing arrivals.
+///
+/// Identical `(config, scenario, kind)` inputs produce identical reports,
+/// and a one-shard config reproduces [`simulate`] bit for bit (modulo the
+/// report's balancer name).
+pub fn simulate_fleet(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+) -> ServeReport {
+    let mut schedulers: Vec<Box<dyn Scheduler>> =
+        (0..config.shard_count()).map(|_| kind.build()).collect();
+    simulate_fleet_with(config, scenario, &mut schedulers)
+}
+
+/// [`simulate_fleet`] with caller-provided per-shard schedulers (one per
+/// shard, in shard order). Borrowed schedulers box in via the
+/// `&mut dyn Scheduler` forwarding impl.
+pub fn simulate_fleet_with(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    schedulers: &mut [Box<dyn Scheduler + '_>],
+) -> ServeReport {
+    let shard_count = config.shard_count();
+    // Hand-built or deserialized configs can reach this point without ever
+    // passing through `uniform`/`heterogeneous`; re-check their invariants.
+    config.assert_valid();
+    assert_eq!(
+        schedulers.len(),
+        shard_count,
+        "one scheduler per shard ({} shards, {} schedulers)",
+        shard_count,
+        schedulers.len()
+    );
+    // Scenario priority overrides apply fleet-wide: every shard serves the
+    // same branch structure under the same priorities.
+    let models: Vec<ServiceModel> = config
+        .shards
+        .iter()
+        .map(|model| match &scenario.priorities {
+            Some(priorities) => model.clone().with_priorities(priorities),
+            None => model.clone(),
+        })
+        .collect();
+    let branch_count = config.branch_count();
+    let arrivals = scenario.generate(branch_count);
+    let mut balancer = Balancer::new(config.balancer);
+
+    // Per-branch accounting, merged across shards.
     let mut issued = vec![0u64; branch_count];
     let mut completed = vec![0u64; branch_count];
     let mut dropped = vec![0u64; branch_count];
-    let mut histograms: Vec<LatencyHistogram> =
+    let mut branch_histograms: Vec<LatencyHistogram> =
         (0..branch_count).map(|_| LatencyHistogram::new()).collect();
-    let mut overall = LatencyHistogram::new();
     for request in &arrivals {
         issued[request.branch] += 1;
     }
 
-    let mut next_arrival = 0; // index into `arrivals`
-    let mut now_us = 0u64; // the instant the shared fabric is free
-    let mut busy_us = 0u64;
-    let mut last_completion_us = 0u64;
+    // Per-shard state. `free_at_us` is the instant the shard's fabric
+    // frees — equivalently its last dispatch completion, which is why the
+    // makespan reads straight off it below; `pending_since_us` is the
+    // arrival instant that made its queue non-empty (a shard with queued
+    // work dispatches at `max(free_at, pending_since)`).
+    let mut free_at_us = vec![0u64; shard_count];
+    let mut pending_since_us = vec![0u64; shard_count];
+    let mut busy_us = vec![0u64; shard_count];
+    let mut backlog_us = vec![0u64; shard_count];
+    let mut shard_issued = vec![0u64; shard_count];
+    let mut shard_completed = vec![0u64; shard_count];
+    let mut shard_dropped = vec![0u64; shard_count];
+    let mut shard_histograms: Vec<LatencyHistogram> =
+        (0..shard_count).map(|_| LatencyHistogram::new()).collect();
 
-    while next_arrival < arrivals.len() || scheduler.queued() > 0 {
-        // Idle front end with an empty queue: jump to the next arrival.
-        if scheduler.queued() == 0 {
-            now_us = now_us.max(arrivals[next_arrival].issued_at_us);
-        }
-        // Admit everything that has arrived by `now`, in arrival order,
-        // against the live queue occupancy.
-        while next_arrival < arrivals.len() && arrivals[next_arrival].issued_at_us <= now_us {
-            let request = arrivals[next_arrival];
+    let mut next_arrival = 0; // index into `arrivals`
+
+    // Scratch buffer for the balancer's view of the fleet, refilled per
+    // admission (hoisted out of the loop: admission runs once per request).
+    let mut loads: Vec<ShardLoad> = Vec::with_capacity(shard_count);
+    loop {
+        // The earliest pending dispatch across the fleet: a shard with
+        // queued work fires at `max(free_at, pending_since)`; ties go to
+        // the lowest shard index (the `(time, index)` min).
+        let next_dispatch = (0..shard_count)
+            .filter(|&shard| schedulers[shard].queued() > 0)
+            .map(|shard| (free_at_us[shard].max(pending_since_us[shard]), shard))
+            .min();
+        let due_arrival = arrivals.get(next_arrival).copied();
+        let admit = match (due_arrival, next_dispatch) {
+            (None, None) => break,
+            (Some(request), Some((dispatch_at, _))) => request.issued_at_us <= dispatch_at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if admit {
+            // Route one arrival at its issue instant, against the live
+            // shard loads, then admit or drop on the chosen shard's queue.
+            let request = due_arrival.expect("admit implies a due arrival");
             next_arrival += 1;
-            if scheduler.queued() >= scenario.queue_capacity {
+            let now_us = request.issued_at_us;
+            loads.clear();
+            loads.extend((0..shard_count).map(|shard| ShardLoad {
+                queued: schedulers[shard].queued(),
+                free_at_us: free_at_us[shard],
+                backlog_us: backlog_us[shard],
+            }));
+            let shard = balancer.place(&request, &loads, now_us, scenario.queue_capacity);
+            shard_issued[shard] += 1;
+            if schedulers[shard].queued() >= scenario.queue_capacity {
                 dropped[request.branch] += 1;
+                shard_dropped[shard] += 1;
             } else {
-                scheduler.enqueue(request, now_us);
+                if schedulers[shard].queued() == 0 {
+                    pending_since_us[shard] = now_us;
+                }
+                backlog_us[shard] += models[shard].batch_service_us(request.branch, 1);
+                schedulers[shard].enqueue(request, now_us);
+                balancer.note_admitted(request.session, shard);
             }
+        } else {
+            // Dispatch one batch on the shard that fires earliest; its
+            // fabric is busy (weight streaming, then compute) until the
+            // whole batch completes. The empty slice tells the scheduler
+            // the shard is fully time-multiplexed: every branch is
+            // dispatchable the moment the fabric frees.
+            let (now_us, shard) = next_dispatch.expect("no arrival due implies a pending dispatch");
+            let batch = schedulers[shard].next_batch(&models[shard], now_us, &[]);
+            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+            let branch = batch[0].branch;
+            debug_assert!(batch.iter().all(|r| r.branch == branch));
+            let service_us = models[shard].batch_service_us(branch, batch.len());
+            let done_us = now_us + service_us;
+            busy_us[shard] += service_us;
+            for request in &batch {
+                let latency_us = request.latency_us(done_us);
+                branch_histograms[request.branch].record(latency_us);
+                shard_histograms[shard].record(latency_us);
+                completed[request.branch] += 1;
+                shard_completed[shard] += 1;
+                backlog_us[shard] = backlog_us[shard]
+                    .saturating_sub(models[shard].batch_service_us(request.branch, 1));
+            }
+            free_at_us[shard] = done_us;
+            pending_since_us[shard] = 0;
         }
-        if scheduler.queued() == 0 {
-            continue;
-        }
-        // Dispatch one batch; the fabric is busy (weight streaming, then
-        // compute) until the whole batch completes. The empty slice tells
-        // the scheduler the fabric is fully time-multiplexed: every branch
-        // is dispatchable the moment the fabric frees.
-        let batch = scheduler.next_batch(&model, now_us, &[]);
-        debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
-        let branch = batch[0].branch;
-        debug_assert!(batch.iter().all(|r| r.branch == branch));
-        let service_us = model.batch_service_us(branch, batch.len());
-        let done_us = now_us + service_us;
-        busy_us += service_us;
-        for request in &batch {
-            let latency_us = request.latency_us(done_us);
-            histograms[request.branch].record(latency_us);
-            overall.record(latency_us);
-            completed[request.branch] += 1;
-        }
-        now_us = done_us;
-        last_completion_us = done_us;
     }
 
     let total_issued: u64 = issued.iter().sum();
     let total_completed: u64 = completed.iter().sum();
     let total_dropped: u64 = dropped.iter().sum();
-    let makespan_sec = last_completion_us as f64 / 1e6;
-    let branches = model
+    let total_busy_us: u64 = busy_us.iter().sum();
+    let makespan_us = free_at_us.iter().copied().max().unwrap_or(0);
+    let makespan_sec = makespan_us as f64 / 1e6;
+    // The fleet-wide latency distribution is the exact merge of the
+    // per-shard histograms (fixed buckets make the merge lossless).
+    let mut overall = LatencyHistogram::new();
+    for histogram in &shard_histograms {
+        overall.merge(histogram);
+    }
+    let branches = models[0]
         .branches
         .iter()
         .enumerate()
@@ -117,12 +223,44 @@ pub fn simulate_with(
             issued: issued[index],
             completed: completed[index],
             dropped: dropped[index],
-            latency: LatencySummary::of(&histograms[index]),
+            latency: LatencySummary::of(&branch_histograms[index]),
         })
         .collect();
+    let shards: Vec<ShardStats> = (0..shard_count)
+        .map(|shard| ShardStats {
+            issued: shard_issued[shard],
+            completed: shard_completed[shard],
+            dropped: shard_dropped[shard],
+            utilization: if makespan_us > 0 {
+                busy_us[shard] as f64 / makespan_us as f64
+            } else {
+                0.0
+            },
+            latency: LatencySummary::of(&shard_histograms[shard]),
+        })
+        .collect();
+    let imbalance = {
+        let max = busy_us.iter().copied().max().unwrap_or(0);
+        let min = busy_us.iter().copied().min().unwrap_or(0);
+        let mean = total_busy_us as f64 / shard_count as f64;
+        if mean > 0.0 {
+            (max - min) as f64 / mean
+        } else {
+            0.0
+        }
+    };
+    // A fleet built by `simulate_fleet` runs one discipline everywhere;
+    // caller-provided shard schedulers may mix disciplines, and the report
+    // says so rather than quoting shard 0 for the whole fleet.
+    let scheduler_name = if schedulers.iter().all(|s| s.name() == schedulers[0].name()) {
+        schedulers[0].name()
+    } else {
+        "mixed"
+    };
     ServeReport {
         scenario: scenario.name.clone(),
-        scheduler: scheduler.name().to_owned(),
+        scheduler: scheduler_name.to_owned(),
+        balancer: config.balancer.name().to_owned(),
         seed: scenario.seed,
         sessions: scenario.sessions,
         issued: total_issued,
@@ -139,19 +277,22 @@ pub fn simulate_with(
         } else {
             0.0
         },
-        utilization: if last_completion_us > 0 {
-            busy_us as f64 / last_completion_us as f64
+        utilization: if makespan_us > 0 {
+            total_busy_us as f64 / (shard_count as u64 * makespan_us) as f64
         } else {
             0.0
         },
+        imbalance,
         latency: LatencySummary::of(&overall),
         branches,
+        shards,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::LoadBalancerKind;
     use crate::model::test_model;
 
     #[test]
@@ -171,6 +312,8 @@ mod tests {
                 );
                 assert!(report.utilization <= 1.0 + 1e-9);
                 assert!(report.latency.p99_ms >= report.latency.p50_ms);
+                assert_eq!(report.shard_count(), 1);
+                assert_eq!(report.imbalance, 0.0);
             }
         }
     }
@@ -229,5 +372,78 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert!(report.conserves_requests());
         assert_eq!(report.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn fleet_reports_conserve_and_split_work_across_shards() {
+        let model = test_model();
+        let scenario = Scenario::b2();
+        for balancer in LoadBalancerKind::all() {
+            let config = FleetConfig::uniform(model.clone(), 3).with_balancer(balancer);
+            let report = simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating);
+            assert!(report.conserves_requests(), "{}", balancer.name());
+            assert_eq!(report.shard_count(), 3);
+            assert_eq!(report.balancer, balancer.name());
+            // Under b2's five bursty sessions every policy must spread
+            // work over more than one shard.
+            let active = report.shards.iter().filter(|s| s.completed > 0).count();
+            assert!(active >= 2, "{}: all work on one shard", balancer.name());
+        }
+    }
+
+    #[test]
+    fn adding_shards_cannot_hurt_the_burst_tail() {
+        let model = test_model();
+        let scenario = Scenario::b2();
+        let one = simulate_fleet(
+            &FleetConfig::uniform(model.clone(), 1).with_balancer(LoadBalancerKind::LeastLoaded),
+            &scenario,
+            SchedulerKind::BatchAggregating,
+        );
+        let four = simulate_fleet(
+            &FleetConfig::uniform(model, 4).with_balancer(LoadBalancerKind::LeastLoaded),
+            &scenario,
+            SchedulerKind::BatchAggregating,
+        );
+        assert!(
+            four.latency.p99_ms < one.latency.p99_ms,
+            "4 shards p99 {} !< 1 shard p99 {}",
+            four.latency.p99_ms,
+            one.latency.p99_ms
+        );
+        assert!(four.dropped <= one.dropped);
+    }
+
+    #[test]
+    fn mixed_shard_schedulers_are_reported_as_mixed() {
+        use crate::scheduler::{FifoScheduler, PriorityScheduler};
+        let config = FleetConfig::uniform(test_model(), 2);
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(PriorityScheduler::new()),
+        ];
+        let report = simulate_fleet_with(&config, &Scenario::b2(), &mut schedulers);
+        assert_eq!(report.scheduler, "mixed");
+        assert!(report.conserves_requests());
+    }
+
+    #[test]
+    fn heterogeneous_fleets_load_the_faster_shard_harder() {
+        let fast = test_model();
+        let mut slow = test_model();
+        for branch in &mut slow.branches {
+            branch.frame_time_us *= 4;
+            branch.fill_time_us *= 4;
+        }
+        let config = FleetConfig::heterogeneous(vec![fast, slow])
+            .with_balancer(LoadBalancerKind::LeastLoaded);
+        let report = simulate_fleet(&config, &Scenario::b2(), SchedulerKind::BatchAggregating);
+        assert!(report.conserves_requests());
+        assert!(
+            report.shards[0].completed > report.shards[1].completed,
+            "fast shard completed {} !> slow shard {}",
+            report.shards[0].completed,
+            report.shards[1].completed
+        );
     }
 }

@@ -62,6 +62,20 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Folds another histogram into this one. Bucket widths are fixed, so
+    /// the merge is exact: the merged histogram is identical to recording
+    /// both observation streams into one histogram, and its count is the
+    /// sum of the two counts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// The `p`-th percentile (0 < p ≤ 100), in milliseconds: the upper edge
     /// of the bucket containing the rank, or the observed maximum for ranks
     /// in the overflow bucket. Returns 0 for an empty histogram.
@@ -154,6 +168,28 @@ mod tests {
         h.record(60_000_000); // 60 s, beyond the 16.4 s histogram range
         assert_eq!(h.percentile_ms(99.0), 60_000.0);
         assert_eq!(h.max_ms(), 60_000.0);
+    }
+
+    #[test]
+    fn merging_equals_recording_both_streams() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for (i, latency_us) in [500u64, 3_000, 7_500, 60_000_000, 12_000]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 0 {
+                left.record(*latency_us);
+            } else {
+                right.record(*latency_us);
+            }
+            combined.record(*latency_us);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, combined);
+        assert_eq!(merged.count(), left.count() + right.count());
     }
 
     #[test]

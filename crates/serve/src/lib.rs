@@ -18,10 +18,17 @@
 //!   from the analytical [`fcad_accel::AcceleratorReport`] or, in the
 //!   calibrated mode, from the cycle-level simulator
 //!   ([`fcad_cyclesim::AcceleratorSim`]).
+//! - **Fleet serving** ([`FleetConfig`], [`LoadBalancerKind`]): scale from
+//!   one time-multiplexed accelerator to a sharded fleet (optionally
+//!   heterogeneous), with round-robin, least-loaded-by-readiness,
+//!   session-affinity-with-spill and per-branch-sharded placement. The
+//!   single-device [`simulate`] path is the one-shard special case of
+//!   [`simulate_fleet`], bit for bit.
 //! - **Reporting** ([`ServeReport`]): throughput, utilization, drop rate
 //!   and p50/p95/p99 latency from a fixed-bucket histogram
-//!   ([`LatencyHistogram`]), rendered as a single machine-readable JSON
-//!   line.
+//!   ([`LatencyHistogram`]), plus per-shard utilization/imbalance
+//!   ([`ShardStats`]) and a merged fleet-wide latency histogram, rendered
+//!   as a single machine-readable JSON line.
 //!
 //! # Example
 //!
@@ -47,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fleet;
 mod histogram;
 pub mod json;
 mod model;
@@ -55,10 +63,11 @@ mod request;
 mod scenario;
 mod scheduler;
 
-pub use engine::{simulate, simulate_with};
+pub use engine::{simulate, simulate_fleet, simulate_fleet_with, simulate_with};
+pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
 pub use model::{BranchService, ServiceModel};
-pub use report::{BranchServeStats, LatencySummary, ServeReport};
+pub use report::{BranchServeStats, LatencySummary, ServeReport, ShardStats};
 pub use request::Request;
 pub use scenario::{ArrivalPattern, Scenario};
 pub use scheduler::{BatchScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind};

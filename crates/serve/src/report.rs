@@ -50,14 +50,33 @@ pub struct BranchServeStats {
     pub latency: LatencySummary,
 }
 
+/// Serving statistics of one fleet shard (one accelerator device).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Requests the balancer routed to this shard (admitted + dropped).
+    pub issued: u64,
+    /// Requests this shard completed.
+    pub completed: u64,
+    /// Requests dropped at this shard's full queue.
+    pub dropped: u64,
+    /// This shard's busy time over the fleet makespan (1.0 = busy the
+    /// whole run).
+    pub utilization: f64,
+    /// Latency summary over this shard's completed requests.
+    pub latency: LatencySummary,
+}
+
 /// The outcome of one serving simulation: one scenario, one scheduler, one
-/// accelerator service model.
+/// fleet of accelerator shards (a single device is the one-shard fleet).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Scenario name.
     pub scenario: String,
     /// Scheduling discipline name.
     pub scheduler: String,
+    /// Load-balancing policy name (`round_robin` for a single device,
+    /// where every policy is equivalent).
+    pub balancer: String,
     /// Scenario seed (same seed + same scenario ⇒ identical report).
     pub seed: u64,
     /// Concurrent avatar sessions.
@@ -75,23 +94,45 @@ pub struct ServeReport {
     pub makespan_sec: f64,
     /// Completed requests per second of makespan.
     pub throughput_rps: f64,
-    /// Mean branch-pipeline occupancy over the makespan (1.0 = every
-    /// pipeline busy the whole run).
+    /// Mean shard occupancy over the makespan (1.0 = every shard busy the
+    /// whole run).
     pub utilization: f64,
-    /// Latency summary over all completed requests.
+    /// Busy-time imbalance across the fleet:
+    /// `(max − min) / mean` shard busy time, 0 for a single shard or an
+    /// idle fleet. 0 means perfectly even work; 1 means the busiest shard
+    /// did a full mean-share more work than the idlest.
+    pub imbalance: f64,
+    /// Latency summary over all completed requests (the merge of every
+    /// shard's histogram).
     pub latency: LatencySummary,
-    /// Per-branch statistics, in branch order.
+    /// Per-branch statistics, in branch order, merged across shards.
     pub branches: Vec<BranchServeStats>,
+    /// Per-shard statistics, in shard order (one entry for a single
+    /// device).
+    pub shards: Vec<ShardStats>,
 }
 
 impl ServeReport {
-    /// Sanity invariant: every issued request is accounted for.
+    /// Sanity invariant: every issued request is accounted for — in total,
+    /// per branch, and per shard (every request is routed to exactly one
+    /// shard, so shard totals also sum back to the fleet totals).
     pub fn conserves_requests(&self) -> bool {
         self.completed + self.dropped == self.issued
             && self
                 .branches
                 .iter()
                 .all(|b| b.completed + b.dropped == b.issued)
+            && self
+                .shards
+                .iter()
+                .all(|s| s.completed + s.dropped == s.issued)
+            && self.shards.iter().map(|s| s.issued).sum::<u64>() == self.issued
+            && self.shards.iter().map(|s| s.completed).sum::<u64>() == self.completed
+    }
+
+    /// Number of shards the run used.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Statistics of the branch with the given index.
@@ -117,9 +158,25 @@ impl ServeReport {
                     .render()
             })
             .collect();
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                JsonObject::new()
+                    .u64("issued", s.issued)
+                    .u64("completed", s.completed)
+                    .u64("dropped", s.dropped)
+                    .f64("utilization", s.utilization)
+                    .f64("p50_ms", s.latency.p50_ms)
+                    .f64("p99_ms", s.latency.p99_ms)
+                    .f64("max_ms", s.latency.max_ms)
+                    .render()
+            })
+            .collect();
         JsonObject::new()
             .str("scenario", &self.scenario)
             .str("scheduler", &self.scheduler)
+            .str("balancer", &self.balancer)
             .u64("seed", self.seed)
             .u64("sessions", self.sessions as u64)
             .u64("issued", self.issued)
@@ -129,12 +186,14 @@ impl ServeReport {
             .f64("makespan_sec", self.makespan_sec)
             .f64("throughput_rps", self.throughput_rps)
             .f64("utilization", self.utilization)
+            .f64("imbalance", self.imbalance)
             .f64("p50_ms", self.latency.p50_ms)
             .f64("p95_ms", self.latency.p95_ms)
             .f64("p99_ms", self.latency.p99_ms)
             .f64("mean_ms", self.latency.mean_ms)
             .f64("max_ms", self.latency.max_ms)
             .raw("branches", &array(&branches))
+            .raw("shards", &array(&shards))
             .render()
     }
 }
@@ -147,6 +206,7 @@ mod tests {
         ServeReport {
             scenario: "a1_baseline".into(),
             scheduler: "batch".into(),
+            balancer: "round_robin".into(),
             seed: 7,
             sessions: 1,
             issued: 10,
@@ -156,6 +216,7 @@ mod tests {
             makespan_sec: 1.0,
             throughput_rps: 9.0,
             utilization: 0.5,
+            imbalance: 0.0,
             latency: LatencySummary::default(),
             branches: vec![BranchServeStats {
                 name: "texture".into(),
@@ -163,6 +224,13 @@ mod tests {
                 issued: 10,
                 completed: 9,
                 dropped: 1,
+                latency: LatencySummary::default(),
+            }],
+            shards: vec![ShardStats {
+                issued: 10,
+                completed: 9,
+                dropped: 1,
+                utilization: 0.5,
                 latency: LatencySummary::default(),
             }],
         }
@@ -184,11 +252,27 @@ mod tests {
         for key in [
             "\"scenario\":\"a1_baseline\"",
             "\"scheduler\":\"batch\"",
+            "\"balancer\":\"round_robin\"",
             "\"issued\":10",
             "\"p99_ms\":",
+            "\"imbalance\":",
             "\"branches\":[{",
+            "\"shards\":[{",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
+    }
+
+    #[test]
+    fn conservation_also_checks_the_shard_totals() {
+        let mut r = report();
+        r.shards[0].completed = 8;
+        assert!(!r.conserves_requests(), "shard totals must be checked");
+        let mut split = report();
+        split.shards[0].issued = 4;
+        assert!(
+            !split.conserves_requests(),
+            "shard issued counts must sum to the fleet total"
+        );
     }
 }

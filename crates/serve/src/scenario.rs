@@ -153,6 +153,52 @@ impl Scenario {
         vec![Self::a1(), Self::a2(5), Self::b1(), Self::b2()]
     }
 
+    /// `a1` scaled to a fleet: one steady 10 Hz session per shard, so an
+    /// evenly balanced fleet stays as unloaded as the single-device `a1`.
+    pub fn a1_fleet(shards: usize) -> Self {
+        Self::a1().scaled_for_fleet(shards)
+    }
+
+    /// `a2` scaled to a fleet: five steady sessions per shard (the
+    /// single-device overload point times the fleet size).
+    pub fn a2_fleet(shards: usize) -> Self {
+        Self::a2(5).scaled_for_fleet(shards)
+    }
+
+    /// `b1` scaled to a fleet: two 15 Hz Poisson sessions per shard.
+    pub fn b1_fleet(shards: usize) -> Self {
+        Self::b1().scaled_for_fleet(shards)
+    }
+
+    /// `b2` scaled to a fleet: five bursty mixed-priority sessions per
+    /// shard on the same tight per-shard queue.
+    pub fn b2_fleet(shards: usize) -> Self {
+        Self::b2().scaled_for_fleet(shards)
+    }
+
+    /// The fleet counterpart of [`Scenario::suite`]: the four scenarios
+    /// with their session counts scaled so each shard of an
+    /// evenly balanced `shards`-device fleet sees the single-device load.
+    pub fn fleet_suite(shards: usize) -> Vec<Scenario> {
+        vec![
+            Self::a1_fleet(shards),
+            Self::a2_fleet(shards),
+            Self::b1_fleet(shards),
+            Self::b2_fleet(shards),
+        ]
+    }
+
+    /// Scales a base scenario to `shards` devices: the base session count
+    /// per shard, with the fleet size recorded in the name. The queue
+    /// capacity stays per-shard (each device fronts its own bounded
+    /// queue), so total queue space scales with the fleet automatically.
+    fn scaled_for_fleet(mut self, shards: usize) -> Self {
+        let shards = shards.max(1);
+        self.sessions *= shards;
+        self.name = format!("{}_fleet{shards}", self.name);
+        self
+    }
+
     /// Returns this scenario with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -344,5 +390,25 @@ mod tests {
                 assert!(request.issued_at_us < horizon_us);
             }
         }
+    }
+
+    #[test]
+    fn fleet_variants_scale_sessions_with_the_shard_count() {
+        for shards in [1usize, 2, 4, 8] {
+            let suite = Scenario::fleet_suite(shards);
+            assert_eq!(suite.len(), 4);
+            assert_eq!(suite[0].sessions, shards); // a1: one per shard
+            assert_eq!(suite[1].sessions, 5 * shards); // a2
+            assert_eq!(suite[2].sessions, 2 * shards); // b1
+            assert_eq!(suite[3].sessions, 5 * shards); // b2
+            for (base, fleet) in Scenario::suite().iter().zip(&suite) {
+                assert_eq!(fleet.name, format!("{}_fleet{shards}", base.name));
+                assert_eq!(fleet.queue_capacity, base.queue_capacity);
+                assert_eq!(fleet.arrival, base.arrival);
+                assert_eq!(fleet.priorities, base.priorities);
+            }
+        }
+        // Degenerate shard counts clamp to one device.
+        assert_eq!(Scenario::b2_fleet(0).sessions, 5);
     }
 }

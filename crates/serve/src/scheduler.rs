@@ -37,6 +37,32 @@ pub trait Scheduler {
     ) -> Vec<Request>;
 }
 
+/// Forwarding impl so a borrowed scheduler can stand in wherever an owned
+/// one is expected (the fleet engine takes boxed per-shard schedulers;
+/// `simulate_with` boxes its caller's `&mut dyn Scheduler` through this).
+impl<'a> Scheduler for &'a mut (dyn Scheduler + 'a) {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn enqueue(&mut self, request: Request, now_us: u64) {
+        (**self).enqueue(request, now_us);
+    }
+
+    fn queued(&self) -> usize {
+        (**self).queued()
+    }
+
+    fn next_batch(
+        &mut self,
+        model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        (**self).next_batch(model, now_us, branch_free_us)
+    }
+}
+
 /// The built-in disciplines, as a value users can pass around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {

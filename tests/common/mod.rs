@@ -1,0 +1,88 @@
+//! Shared fixtures for the repo-level serving tests. Not every test
+//! target uses every helper, hence the `dead_code` allowances.
+
+use fcad_serve::{ArrivalPattern, BranchService, Scenario, SchedulerKind, ServiceModel};
+use proptest::prelude::*;
+
+/// The synthetic three-branch service model (no DSE run needed) used across
+/// the serve/fleet test suites: two visual branches and a cheap
+/// low-priority audio-like branch. One definition keeps every suite
+/// testing the same model.
+#[allow(dead_code)]
+pub fn three_branch_model() -> ServiceModel {
+    ServiceModel {
+        branches: vec![
+            BranchService {
+                name: "geometry".to_owned(),
+                frame_time_us: 9_000,
+                fill_time_us: 8_000,
+                max_batch: 1,
+                priority: 1.0,
+            },
+            BranchService {
+                name: "texture".to_owned(),
+                frame_time_us: 5_000,
+                fill_time_us: 7_000,
+                max_batch: 2,
+                priority: 1.0,
+            },
+            BranchService {
+                name: "audio".to_owned(),
+                frame_time_us: 1_500,
+                fill_time_us: 2_000,
+                max_batch: 4,
+                priority: 0.2,
+            },
+        ],
+    }
+}
+
+/// Every arrival pattern the property suites exercise, with one fixed
+/// parameterization per stochastic pattern.
+#[allow(dead_code)]
+pub fn pattern_strategy() -> impl Strategy<Value = ArrivalPattern> {
+    prop_oneof![
+        Just(ArrivalPattern::Steady),
+        Just(ArrivalPattern::Poisson),
+        Just(ArrivalPattern::Burst {
+            period_sec: 0.4,
+            duty: 0.5,
+            factor: 2.0,
+        }),
+        Just(ArrivalPattern::DiurnalRamp {
+            start_factor: 0.4,
+            end_factor: 1.8,
+        }),
+    ]
+}
+
+/// Every built-in scheduling discipline.
+#[allow(dead_code)]
+pub fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Fifo),
+        Just(SchedulerKind::PriorityByBranch),
+        Just(SchedulerKind::BatchAggregating),
+    ]
+}
+
+/// One-second scenario from randomized property-test parameters.
+#[allow(dead_code)]
+pub fn prop_scenario(
+    seed: u64,
+    sessions: usize,
+    rate: usize,
+    capacity: usize,
+    arrival: ArrivalPattern,
+) -> Scenario {
+    Scenario {
+        name: "prop".to_owned(),
+        seed,
+        sessions,
+        frame_rate_hz: rate as f64,
+        duration_sec: 1.0,
+        arrival,
+        queue_capacity: capacity,
+        priorities: None,
+    }
+}

@@ -1,0 +1,120 @@
+//! Shard-equivalence invariants of the fleet engine: a one-shard fleet is
+//! the single-device engine, bit for bit, for every scheduling discipline,
+//! balancing policy and scenario — on both a synthetic model and a real
+//! DSE-optimized design.
+
+use fcad::{Customization, DseParams, Fcad};
+use fcad_serve::{
+    simulate, simulate_fleet, simulate_fleet_with, simulate_with, FleetConfig, LoadBalancerKind,
+    PriorityScheduler, Scenario, Scheduler, SchedulerKind,
+};
+
+mod common;
+
+use common::three_branch_model as model;
+
+#[test]
+fn one_shard_fleet_is_bit_identical_to_the_single_device_engine() {
+    // Round-robin is the single-device default, so the whole report —
+    // balancer name included — must match exactly.
+    for scenario in Scenario::suite() {
+        for kind in SchedulerKind::all() {
+            let single = simulate(&model(), &scenario, kind);
+            let fleet = simulate_fleet(&FleetConfig::uniform(model(), 1), &scenario, kind);
+            assert_eq!(
+                single,
+                fleet,
+                "{} / {}: one-shard fleet diverged from the single device",
+                scenario.name,
+                kind.build().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_balancer_degenerates_to_the_single_device_on_one_shard() {
+    // With one shard every placement policy routes every request to shard
+    // 0, so the reports differ only in the balancer name.
+    for scenario in Scenario::suite() {
+        for kind in SchedulerKind::all() {
+            let single = simulate(&model(), &scenario, kind);
+            for balancer in LoadBalancerKind::all() {
+                let config = FleetConfig::uniform(model(), 1).with_balancer(balancer);
+                let mut fleet = simulate_fleet(&config, &scenario, kind);
+                assert_eq!(fleet.balancer, balancer.name());
+                fleet.balancer = single.balancer.clone();
+                assert_eq!(
+                    single,
+                    fleet,
+                    "{} / {} / {}: balancer must be a no-op on one shard",
+                    scenario.name,
+                    kind.build().name(),
+                    balancer.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn caller_provided_schedulers_match_the_built_in_path() {
+    // `simulate_with` (borrowed scheduler) and `simulate_fleet_with`
+    // (boxed shard schedulers) run the same loop as `simulate`.
+    let scenario = Scenario::b2();
+    let built_in = simulate(&model(), &scenario, SchedulerKind::PriorityByBranch);
+    let mut borrowed = PriorityScheduler::new();
+    let via_with = simulate_with(&model(), &scenario, &mut borrowed);
+    assert_eq!(built_in, via_with);
+    let mut boxed: Vec<Box<dyn Scheduler>> = vec![Box::new(PriorityScheduler::new())];
+    let via_fleet_with =
+        simulate_fleet_with(&FleetConfig::uniform(model(), 1), &scenario, &mut boxed);
+    assert_eq!(built_in, via_fleet_with);
+}
+
+#[test]
+fn one_shard_fleet_matches_the_single_device_on_an_optimized_design() {
+    let result = Fcad::new(
+        fcad_nnir::models::targeted_decoder(),
+        fcad_accel::Platform::zu17eg(),
+    )
+    .with_customization(Customization::codec_avatar(fcad_nnir::Precision::Int8))
+    .with_dse_params(DseParams::fast())
+    .run()
+    .expect("decoder flow succeeds");
+    for scenario in [Scenario::a1(), Scenario::b2()] {
+        let single = result.serve_with(&scenario, SchedulerKind::BatchAggregating);
+        let fleet = result.serve_fleet(
+            &scenario,
+            1,
+            LoadBalancerKind::RoundRobin,
+            SchedulerKind::BatchAggregating,
+        );
+        assert_eq!(
+            single, fleet,
+            "{}: optimized-design divergence",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn fleet_reports_carry_consistent_shard_metadata() {
+    for shards in [2usize, 4] {
+        let scenario = Scenario::b2_fleet(shards);
+        let config =
+            FleetConfig::uniform(model(), shards).with_balancer(LoadBalancerKind::LeastLoaded);
+        let report = simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating);
+        assert!(report.conserves_requests());
+        assert_eq!(report.shard_count(), shards);
+        assert!(report.imbalance >= 0.0);
+        // Overall utilization is the mean of the per-shard utilizations.
+        let mean: f64 = report.shards.iter().map(|s| s.utilization).sum::<f64>() / shards as f64;
+        assert!(
+            (report.utilization - mean).abs() < 1e-9,
+            "utilization {} != mean shard utilization {}",
+            report.utilization,
+            mean
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the fleet serving engine: bit-exact determinism
+//! for a fixed seed, request conservation across every shard, exact
+//! histogram merging, and percentile monotonicity — over randomized
+//! scenario parameters, shard counts, balancing policies and disciplines.
+
+use fcad_serve::{simulate_fleet, FleetConfig, LoadBalancerKind};
+use proptest::prelude::*;
+
+mod common;
+
+use common::{
+    pattern_strategy, prop_scenario as scenario, scheduler_strategy, three_branch_model as model,
+};
+
+fn balancer_strategy() -> impl Strategy<Value = LoadBalancerKind> {
+    prop_oneof![
+        Just(LoadBalancerKind::RoundRobin),
+        Just(LoadBalancerKind::LeastLoaded),
+        Just(LoadBalancerKind::AffinityFirst),
+        Just(LoadBalancerKind::BranchSharded),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed + same fleet + same scenario ⇒ bit-identical `ServeReport`.
+    #[test]
+    fn same_seed_and_fleet_give_identical_reports(
+        seed in 0u64..10_000,
+        sessions in 1usize..8,
+        rate in 5usize..40,
+        capacity in 8usize..128,
+        shards in 1usize..5,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        balancer in balancer_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival);
+        let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
+        let a = simulate_fleet(&config, &scenario, kind);
+        let b = simulate_fleet(&config, &scenario, kind);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Completed + dropped == issued, in total, per branch and per shard —
+    /// even with tiny queues forcing drops — and every request is routed
+    /// to exactly one shard.
+    #[test]
+    fn requests_are_conserved_across_every_shard(
+        seed in 0u64..10_000,
+        sessions in 1usize..10,
+        rate in 5usize..60,
+        capacity in 4usize..64,
+        shards in 1usize..6,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        balancer in balancer_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival);
+        let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
+        let report = simulate_fleet(&config, &scenario, kind);
+        prop_assert!(report.conserves_requests());
+        prop_assert_eq!(report.shard_count(), shards);
+        prop_assert_eq!(
+            report.issued,
+            report.shards.iter().map(|s| s.issued).sum::<u64>()
+        );
+        prop_assert_eq!(
+            report.dropped,
+            report.shards.iter().map(|s| s.dropped).sum::<u64>()
+        );
+        prop_assert!(report.utilization <= 1.0 + 1e-9);
+        for shard in &report.shards {
+            prop_assert!(shard.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    /// The fleet-wide latency histogram is the exact merge of the shard
+    /// histograms: its count (completed requests) equals the sum of the
+    /// per-shard counts, and its max bounds every shard's max.
+    #[test]
+    fn merged_histogram_counts_match_the_shard_sums(
+        seed in 0u64..10_000,
+        sessions in 1usize..8,
+        rate in 5usize..40,
+        capacity in 8usize..96,
+        shards in 1usize..5,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        balancer in balancer_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival);
+        let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
+        let report = simulate_fleet(&config, &scenario, kind);
+        prop_assert_eq!(
+            report.completed,
+            report.shards.iter().map(|s| s.completed).sum::<u64>()
+        );
+        for shard in &report.shards {
+            prop_assert!(report.latency.max_ms >= shard.latency.max_ms);
+        }
+        prop_assert!(
+            (report.latency.max_ms
+                - report
+                    .shards
+                    .iter()
+                    .map(|s| s.latency.max_ms)
+                    .fold(0.0f64, f64::max))
+            .abs()
+                < 1e-9,
+            "merged max must be the max of the shard maxima"
+        );
+    }
+
+    /// Percentiles are monotone — p99 ≥ p95 ≥ p50 — for the merged report,
+    /// every branch, and every shard.
+    #[test]
+    fn percentiles_are_monotone_everywhere(
+        seed in 0u64..10_000,
+        sessions in 1usize..8,
+        rate in 5usize..50,
+        capacity in 8usize..128,
+        shards in 1usize..5,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        balancer in balancer_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival);
+        let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
+        let report = simulate_fleet(&config, &scenario, kind);
+        let monotone = |p50: f64, p95: f64, p99: f64| p99 >= p95 && p95 >= p50;
+        prop_assert!(monotone(
+            report.latency.p50_ms,
+            report.latency.p95_ms,
+            report.latency.p99_ms
+        ));
+        for branch in &report.branches {
+            prop_assert!(monotone(
+                branch.latency.p50_ms,
+                branch.latency.p95_ms,
+                branch.latency.p99_ms
+            ));
+        }
+        for shard in &report.shards {
+            prop_assert!(monotone(
+                shard.latency.p50_ms,
+                shard.latency.p95_ms,
+                shard.latency.p99_ms
+            ));
+        }
+    }
+}

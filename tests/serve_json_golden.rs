@@ -1,0 +1,152 @@
+//! Golden snapshot of the `ServeReport` single-line JSON rendering — the
+//! format `reproduce --serve` and the serving examples emit. Any field
+//! rename, reorder, precision change or dropped section (including the
+//! fleet's per-shard stats) fails this test instead of silently drifting.
+
+use fcad_serve::{
+    simulate_fleet, BranchServeStats, FleetConfig, LatencySummary, LoadBalancerKind, Scenario,
+    SchedulerKind, ServeReport, ServiceModel, ShardStats,
+};
+
+fn latency() -> LatencySummary {
+    LatencySummary {
+        p50_ms: 12.0,
+        p95_ms: 40.0,
+        p99_ms: 64.0,
+        mean_ms: 18.25,
+        max_ms: 96.5,
+    }
+}
+
+/// A fully hand-built two-shard report, independent of the simulator, so
+/// the snapshot pins the *rendering* and nothing else.
+fn report() -> ServeReport {
+    ServeReport {
+        scenario: "b2_mixed_priority_chaos_fleet2".into(),
+        scheduler: "batch".into(),
+        balancer: "least_loaded".into(),
+        seed: 7,
+        sessions: 10,
+        issued: 100,
+        completed: 90,
+        dropped: 10,
+        drop_rate: 0.1,
+        makespan_sec: 2.5,
+        throughput_rps: 36.0,
+        utilization: 0.875,
+        imbalance: 0.25,
+        latency: latency(),
+        branches: vec![
+            BranchServeStats {
+                name: "geometry".into(),
+                priority: 1.0,
+                issued: 50,
+                completed: 45,
+                dropped: 5,
+                latency: latency(),
+            },
+            BranchServeStats {
+                name: "warp".into(),
+                priority: 0.15,
+                issued: 50,
+                completed: 45,
+                dropped: 5,
+                latency: latency(),
+            },
+        ],
+        shards: vec![
+            ShardStats {
+                issued: 60,
+                completed: 55,
+                dropped: 5,
+                utilization: 1.0,
+                latency: latency(),
+            },
+            ShardStats {
+                issued: 40,
+                completed: 35,
+                dropped: 5,
+                utilization: 0.75,
+                latency: latency(),
+            },
+        ],
+    }
+}
+
+const GOLDEN: &str = concat!(
+    "{\"scenario\":\"b2_mixed_priority_chaos_fleet2\",\"scheduler\":\"batch\",",
+    "\"balancer\":\"least_loaded\",\"seed\":7,\"sessions\":10,\"issued\":100,",
+    "\"completed\":90,\"dropped\":10,\"drop_rate\":0.1000,\"makespan_sec\":2.5000,",
+    "\"throughput_rps\":36.0000,\"utilization\":0.8750,\"imbalance\":0.2500,",
+    "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
+    "\"max_ms\":96.5000,\"branches\":[",
+    "{\"name\":\"geometry\",\"priority\":1.0000,\"issued\":50,\"completed\":45,",
+    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "{\"name\":\"warp\",\"priority\":0.1500,\"issued\":50,\"completed\":45,",
+    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000}],",
+    "\"shards\":[",
+    "{\"issued\":60,\"completed\":55,\"dropped\":5,\"utilization\":1.0000,",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "{\"issued\":40,\"completed\":35,\"dropped\":5,\"utilization\":0.7500,",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000}]}",
+);
+
+#[test]
+fn serve_report_json_line_matches_the_golden_snapshot() {
+    assert_eq!(report().to_json_line(), GOLDEN);
+}
+
+#[test]
+fn golden_snapshot_is_one_structurally_balanced_line() {
+    assert!(!GOLDEN.contains('\n'));
+    assert_eq!(GOLDEN.matches('{').count(), GOLDEN.matches('}').count());
+    assert_eq!(GOLDEN.matches('[').count(), GOLDEN.matches(']').count());
+}
+
+#[test]
+fn simulated_fleet_reports_render_with_the_golden_key_order() {
+    // A real simulation must emit the same keys in the same order as the
+    // snapshot (values differ): walk the golden keys and check each
+    // appears after the previous one.
+    let model = ServiceModel {
+        branches: vec![fcad_serve::BranchService {
+            name: "texture".to_owned(),
+            frame_time_us: 4_000,
+            fill_time_us: 1_000,
+            max_batch: 2,
+            priority: 1.0,
+        }],
+    };
+    let config = FleetConfig::uniform(model, 2).with_balancer(LoadBalancerKind::LeastLoaded);
+    let line =
+        simulate_fleet(&config, &Scenario::a1(), SchedulerKind::BatchAggregating).to_json_line();
+    let keys = [
+        "\"scenario\":",
+        "\"scheduler\":",
+        "\"balancer\":",
+        "\"seed\":",
+        "\"sessions\":",
+        "\"issued\":",
+        "\"completed\":",
+        "\"dropped\":",
+        "\"drop_rate\":",
+        "\"makespan_sec\":",
+        "\"throughput_rps\":",
+        "\"utilization\":",
+        "\"imbalance\":",
+        "\"p50_ms\":",
+        "\"p95_ms\":",
+        "\"p99_ms\":",
+        "\"mean_ms\":",
+        "\"max_ms\":",
+        "\"branches\":[",
+        "\"shards\":[",
+    ];
+    let mut cursor = 0;
+    for key in keys {
+        let at = line[cursor..]
+            .find(key)
+            .unwrap_or_else(|| panic!("missing or out-of-order key {key} in {line}"));
+        cursor += at + key.len();
+    }
+}

@@ -2,81 +2,14 @@
 //! a fixed seed, and request conservation across randomized scenario
 //! parameters (including tiny queues that force drops).
 
-use fcad_serve::{simulate, ArrivalPattern, BranchService, Scenario, SchedulerKind, ServiceModel};
+use fcad_serve::{simulate, ArrivalPattern};
 use proptest::prelude::*;
 
-/// A synthetic three-branch service model (no DSE run needed): two visual
-/// branches and a cheap audio-like branch.
-fn model() -> ServiceModel {
-    ServiceModel {
-        branches: vec![
-            BranchService {
-                name: "geometry".to_owned(),
-                frame_time_us: 9_000,
-                fill_time_us: 8_000,
-                max_batch: 1,
-                priority: 1.0,
-            },
-            BranchService {
-                name: "texture".to_owned(),
-                frame_time_us: 5_000,
-                fill_time_us: 7_000,
-                max_batch: 2,
-                priority: 1.0,
-            },
-            BranchService {
-                name: "audio".to_owned(),
-                frame_time_us: 1_500,
-                fill_time_us: 2_000,
-                max_batch: 4,
-                priority: 0.2,
-            },
-        ],
-    }
-}
+mod common;
 
-fn pattern_strategy() -> impl Strategy<Value = ArrivalPattern> {
-    prop_oneof![
-        Just(ArrivalPattern::Steady),
-        Just(ArrivalPattern::Poisson),
-        Just(ArrivalPattern::Burst {
-            period_sec: 0.4,
-            duty: 0.5,
-            factor: 2.0,
-        }),
-        Just(ArrivalPattern::DiurnalRamp {
-            start_factor: 0.4,
-            end_factor: 1.8,
-        }),
-    ]
-}
-
-fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
-    prop_oneof![
-        Just(SchedulerKind::Fifo),
-        Just(SchedulerKind::PriorityByBranch),
-        Just(SchedulerKind::BatchAggregating),
-    ]
-}
-
-fn scenario(
-    seed: u64,
-    sessions: usize,
-    rate: usize,
-    capacity: usize,
-    arrival: ArrivalPattern,
-) -> Scenario {
-    Scenario {
-        name: "prop".to_owned(),
-        seed,
-        sessions,
-        frame_rate_hz: rate as f64,
-        duration_sec: 1.0,
-        arrival,
-        queue_capacity: capacity,
-        priorities: None,
-    }
-}
+use common::{
+    pattern_strategy, prop_scenario as scenario, scheduler_strategy, three_branch_model as model,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
