@@ -1,0 +1,87 @@
+//! Benchmarks the dynamic-fleet engine: the stretched `b2_failover` burst
+//! on a six-shard least-loaded fleet of a DSE-optimized ZU17EG decoder —
+//! fixed healthy, fixed with a triple mid-burst kill, and reactive
+//! autoscaling healing the same kill — plus the no-op-policy path, whose
+//! cost must stay at the fixed-fleet baseline (the lifecycle layer is free
+//! when unused).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_accel::Platform;
+use fcad_nnir::Precision;
+use fcad_serve::{
+    simulate_autoscaled, simulate_fleet, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind,
+    Scenario, SchedulerKind,
+};
+
+fn bench(c: &mut Criterion) {
+    // Optimize the design once; benches time only the serving simulation.
+    let result = fcad_bench::run_case(&Platform::zu17eg(), Precision::Int8, false);
+    let model = result.service_model();
+    let scenario = Scenario::b2_failover(1);
+    let config = FleetConfig::uniform(model, 6).with_balancer(LoadBalancerKind::LeastLoaded);
+    let kills = FailurePlan::scheduled(&[(1_100_000, 1), (1_150_000, 2), (1_200_000, 3)]);
+    let policy = Autoscaler::reactive(6, 8)
+        .with_scale_up_queue_depth(4)
+        .with_warmup_us(25_000)
+        .with_cooldown_us(80_000)
+        .with_idle_retire_us(0);
+
+    let healed = simulate_autoscaled(
+        &config,
+        &scenario,
+        SchedulerKind::BatchAggregating,
+        &policy,
+        &kills,
+    );
+    println!("{}", healed.to_json_line());
+
+    c.bench_function(&format!("autoscale/{}/fixed", scenario.name), |b| {
+        b.iter(|| simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating))
+    });
+    c.bench_function(&format!("autoscale/{}/noop_policy", scenario.name), |b| {
+        b.iter(|| {
+            simulate_autoscaled(
+                &config,
+                &scenario,
+                SchedulerKind::BatchAggregating,
+                &Autoscaler::none(),
+                &FailurePlan::none(),
+            )
+        })
+    });
+    c.bench_function(
+        &format!("autoscale/{}/triple_kill_static", scenario.name),
+        |b| {
+            b.iter(|| {
+                simulate_autoscaled(
+                    &config,
+                    &scenario,
+                    SchedulerKind::BatchAggregating,
+                    &Autoscaler::none(),
+                    &kills,
+                )
+            })
+        },
+    );
+    c.bench_function(
+        &format!("autoscale/{}/triple_kill_reactive", scenario.name),
+        |b| {
+            b.iter(|| {
+                simulate_autoscaled(
+                    &config,
+                    &scenario,
+                    SchedulerKind::BatchAggregating,
+                    &policy,
+                    &kills,
+                )
+            })
+        },
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -64,5 +64,6 @@ pub use validate::{BranchValidation, ValidationReport};
 // sub-crate explicitly.
 pub use fcad_dse::{Customization, DseParams, DseResult};
 pub use fcad_serve::{
-    FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel, ShardStats,
+    Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind, ScaleEvent, ScaleEventKind, Scenario,
+    SchedulerKind, ServeReport, ServiceModel, ShardState, ShardStats,
 };

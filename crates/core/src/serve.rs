@@ -10,8 +10,8 @@
 use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
 use fcad_serve::{
-    simulate, simulate_fleet, FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport,
-    ServiceModel,
+    simulate, simulate_autoscaled, simulate_fleet, Autoscaler, FailurePlan, FleetConfig,
+    LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel,
 };
 
 impl FcadResult {
@@ -83,6 +83,31 @@ impl FcadResult {
             &self.fleet_config(shards).with_balancer(balancer),
             scenario,
             kind,
+        )
+    }
+
+    /// Simulates serving `scenario` on a *dynamic* fleet that starts as
+    /// `shards` copies of the optimized design: `policy` scales the fleet
+    /// up and down at runtime (spawned shards pay a warm-up weight fill
+    /// before serving) and `failures` kills shards mid-run, re-placing
+    /// their orphaned sessions through the balancer. With
+    /// [`Autoscaler::none`] and [`FailurePlan::none`] this reproduces
+    /// [`FcadResult::serve_fleet`] bit for bit.
+    pub fn serve_autoscaled(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+        policy: &Autoscaler,
+        failures: &FailurePlan,
+    ) -> ServeReport {
+        simulate_autoscaled(
+            &self.fleet_config(shards).with_balancer(balancer),
+            scenario,
+            kind,
+            policy,
+            failures,
         )
     }
 
@@ -194,6 +219,46 @@ mod tests {
             four.latency.p99_ms,
             one.latency.p99_ms
         );
+    }
+
+    #[test]
+    fn autoscaled_serving_recovers_from_a_mid_run_failure() {
+        let result = optimized();
+        let scenario = Scenario::b2_failover(2);
+        let plan = FailurePlan::scheduled(&[(1_500_000, 1)]);
+        let noop = result.serve_autoscaled(
+            &scenario,
+            2,
+            LoadBalancerKind::AffinityFirst,
+            SchedulerKind::BatchAggregating,
+            &Autoscaler::none(),
+            &FailurePlan::none(),
+        );
+        let fixed = result.serve_fleet(
+            &scenario,
+            2,
+            LoadBalancerKind::AffinityFirst,
+            SchedulerKind::BatchAggregating,
+        );
+        assert_eq!(noop, fixed, "no-op policy must reproduce the fixed fleet");
+        let failed = result.serve_autoscaled(
+            &scenario,
+            2,
+            LoadBalancerKind::AffinityFirst,
+            SchedulerKind::BatchAggregating,
+            &Autoscaler::reactive(2, 4),
+            &plan,
+        );
+        assert!(failed.conserves_requests());
+        assert!(
+            failed
+                .scale_events
+                .iter()
+                .any(|e| e.kind == fcad_serve::ScaleEventKind::Fail),
+            "the scheduled kill must fire"
+        );
+        assert!(failed.replaced + failed.lost > 0 || failed.shards[1].issued == 0);
+        assert!(failed.availability > 0.5);
     }
 
     #[test]

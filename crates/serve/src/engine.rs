@@ -1,5 +1,5 @@
 //! The deterministic discrete-event serving loop, from one accelerator to
-//! a fleet of them.
+//! a lifecycle-driven fleet of them.
 //!
 //! Each shard is one accelerator serving its admitted sessions
 //! time-multiplexed (Table V of the paper scales a single decoder
@@ -12,25 +12,43 @@
 //! aggregation amortizes it over the DSE-chosen batch size.
 //!
 //! The fleet loop needs no event heap: arrivals are pre-generated in time
-//! order, and the only other events are shard dispatch completions, one
-//! pending per shard. Every step processes the earliest event — arrivals
-//! win ties, and dispatches tie-break on the lowest shard index — so the
-//! whole simulation is a deterministic function of its inputs. Admission
-//! happens in arrival order against the chosen shard's live queue
-//! occupancy (the balancer picks the shard, the shard's bounded queue
-//! takes the drop), which is exactly what a heap-based simulator would
-//! produce, without any nondeterminism.
+//! order, the only compute events are shard dispatch completions (one
+//! pending per shard), and the dynamic-fleet layer adds a small set of
+//! *lifecycle* events — scheduled failures, forced drains, warm-up
+//! completions and idle checks. Every step processes the earliest event:
+//! lifecycle events win ties (a shard that dies at `t` cannot admit the
+//! arrival at `t`), arrivals win ties against dispatches, and dispatches
+//! tie-break on the lowest shard index — so the whole simulation is a
+//! deterministic function of its inputs. Admission happens in arrival
+//! order against the chosen shard's live queue occupancy (the balancer
+//! picks among the *placeable* shards, the shard's bounded queue takes the
+//! drop), which is exactly what a heap-based simulator would produce,
+//! without any nondeterminism.
 //!
-//! The single-device [`simulate`]/[`simulate_with`] path *is* the
-//! one-shard special case of [`simulate_fleet_with`]: same loop, same
-//! admission order, same arithmetic, bit-identical reports.
+//! The fixed fleet is the no-op special case: [`simulate_fleet`] runs the
+//! same loop under [`Autoscaler::none`] and [`FailurePlan::none`], where no
+//! lifecycle event ever fires and every shard stays
+//! [`ShardState::Active`](crate::ShardState::Active) — bit-identical to a
+//! dedicated static loop. The single-device [`simulate`]/[`simulate_with`]
+//! path in turn *is* the one-shard special case of [`simulate_fleet_with`]:
+//! same loop, same admission order, same arithmetic, bit-identical reports.
 
+use std::collections::VecDeque;
+
+use crate::autoscale::{
+    Autoscaler, FailurePlan, KillTarget, ScaleEvent, ScaleEventKind, ShardState,
+};
 use crate::fleet::{Balancer, FleetConfig, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
 use crate::report::{BranchServeStats, LatencySummary, ServeReport, ShardStats};
 use crate::scenario::Scenario;
 use crate::scheduler::{Scheduler, SchedulerKind};
+
+/// Rolling window of recent completion latencies feeding the autoscaler's
+/// p99 trigger, and the minimum fill before the trigger may fire.
+const P99_WINDOW: usize = 64;
+const P99_MIN_SAMPLES: usize = 16;
 
 /// Runs `scenario` against a single accelerator `model` under the given
 /// discipline and returns the aggregated report.
@@ -54,166 +72,651 @@ pub fn simulate_with(
     simulate_fleet_with(&config, scenario, &mut one)
 }
 
-/// Runs `scenario` against a fleet of accelerator shards, each scheduled by
-/// a fresh instance of `kind`, with `config.balancer` placing arrivals.
+/// Runs `scenario` against a fixed fleet of accelerator shards, each
+/// scheduled by a fresh instance of `kind`, with `config.balancer` placing
+/// arrivals.
 ///
 /// Identical `(config, scenario, kind)` inputs produce identical reports,
 /// and a one-shard config reproduces [`simulate`] bit for bit (modulo the
-/// report's balancer name).
+/// report's balancer name). This is [`simulate_autoscaled`] under the
+/// no-op policy and the empty failure plan.
 pub fn simulate_fleet(
     config: &FleetConfig,
     scenario: &Scenario,
     kind: SchedulerKind,
 ) -> ServeReport {
-    let mut schedulers: Vec<Box<dyn Scheduler>> =
+    let schedulers: Vec<Box<dyn Scheduler>> =
         (0..config.shard_count()).map(|_| kind.build()).collect();
-    simulate_fleet_with(config, scenario, &mut schedulers)
+    run(
+        config,
+        scenario,
+        schedulers,
+        None,
+        &Autoscaler::none(),
+        &FailurePlan::none(),
+    )
 }
 
 /// [`simulate_fleet`] with caller-provided per-shard schedulers (one per
 /// shard, in shard order). Borrowed schedulers box in via the
 /// `&mut dyn Scheduler` forwarding impl.
-pub fn simulate_fleet_with(
+pub fn simulate_fleet_with<'a>(
     config: &FleetConfig,
     scenario: &Scenario,
-    schedulers: &mut [Box<dyn Scheduler + '_>],
+    schedulers: &mut [Box<dyn Scheduler + 'a>],
 ) -> ServeReport {
-    let shard_count = config.shard_count();
+    let reboxed: Vec<Box<dyn Scheduler + '_>> = schedulers
+        .iter_mut()
+        .map(|s| Box::new(&mut **s) as Box<dyn Scheduler + '_>)
+        .collect();
+    run(
+        config,
+        scenario,
+        reboxed,
+        None,
+        &Autoscaler::none(),
+        &FailurePlan::none(),
+    )
+}
+
+/// Runs `scenario` against a *dynamic* fleet: `config` describes the
+/// initial shards, `policy` scales the fleet up and down at runtime
+/// (spawned shards clone shard 0's service model and pay the warm-up fill
+/// before serving), and `failures` kills shards mid-run — their queued
+/// requests lose affinity and re-place through the live balancer, or are
+/// counted `lost` when no surviving queue can take them.
+///
+/// Under [`Autoscaler::none`] and [`FailurePlan::none`] this is
+/// [`simulate_fleet`], bit for bit.
+pub fn simulate_autoscaled(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+) -> ServeReport {
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        (0..config.shard_count()).map(|_| kind.build()).collect();
+    run(config, scenario, schedulers, Some(kind), policy, failures)
+}
+
+/// One pending lifecycle event. Events order by `(at_us, rank, seq)`:
+/// failures before drains before warm-ups before idle checks at the same
+/// instant, insertion order as the final tie-break — all deterministic.
+struct Lifecycle {
+    at_us: u64,
+    rank: u8,
+    seq: u64,
+    shard: usize,
+    action: Action,
+}
+
+enum Action {
+    Fail(KillTarget),
+    Drain,
+    Warm,
+    IdleCheck,
+}
+
+impl Action {
+    fn rank(&self) -> u8 {
+        match self {
+            Action::Fail(_) => 0,
+            Action::Drain => 1,
+            Action::Warm => 2,
+            Action::IdleCheck => 3,
+        }
+    }
+}
+
+/// One shard's full runtime state: its service model, scheduler, lifecycle
+/// phase, fabric timing and serving statistics. `free_at_us` is the
+/// instant the shard's fabric frees — its last dispatch completion or
+/// weight-refill end, which is why the makespan reads straight off it;
+/// `pending_since_us` is the arrival instant that made its queue non-empty
+/// (a shard with queued work dispatches at `max(free_at, pending_since)`).
+struct Shard<'a> {
+    model: ServiceModel,
+    scheduler: Box<dyn Scheduler + 'a>,
+    phase: ShardState,
+    free_at_us: u64,
+    pending_since_us: u64,
+    busy_us: u64,
+    backlog_us: u64,
+    issued: u64,
+    completed: u64,
+    dropped: u64,
+    histogram: LatencyHistogram,
+    /// Whether an idle check for this shard is already queued — one
+    /// pending check per shard keeps the lifecycle event list from
+    /// accumulating a duplicate per queue-emptying dispatch.
+    idle_check_pending: bool,
+}
+
+impl<'a> Shard<'a> {
+    fn new(model: ServiceModel, scheduler: Box<dyn Scheduler + 'a>, phase: ShardState) -> Self {
+        Self {
+            model,
+            scheduler,
+            phase,
+            free_at_us: 0,
+            pending_since_us: 0,
+            busy_us: 0,
+            backlog_us: 0,
+            issued: 0,
+            completed: 0,
+            dropped: 0,
+            histogram: LatencyHistogram::new(),
+            idle_check_pending: false,
+        }
+    }
+
+    /// The balancer's view of this shard at placement time.
+    fn load(&self) -> ShardLoad {
+        ShardLoad {
+            queued: self.scheduler.queued(),
+            free_at_us: self.free_at_us,
+            backlog_us: self.backlog_us,
+        }
+    }
+
+    /// The instant this shard's next dispatch fires (meaningful only while
+    /// it has queued work and is in a dispatching phase).
+    fn dispatch_at(&self) -> u64 {
+        self.free_at_us.max(self.pending_since_us)
+    }
+}
+
+fn active_count(shards: &[Shard]) -> usize {
+    shards
+        .iter()
+        .filter(|s| s.phase == ShardState::Active)
+        .count()
+}
+
+fn alive_count(shards: &[Shard]) -> usize {
+    shards.iter().filter(|s| s.phase.is_alive()).count()
+}
+
+/// The lifecycle-driven event loop shared by every entry point. `spawn`
+/// is the discipline new shards are built with; `None` (the fixed-fleet
+/// paths) makes scale-up impossible, which the no-op policy guarantees
+/// never to request.
+fn run<'a>(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    schedulers: Vec<Box<dyn Scheduler + 'a>>,
+    spawn: Option<SchedulerKind>,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+) -> ServeReport {
     // Hand-built or deserialized configs can reach this point without ever
     // passing through `uniform`/`heterogeneous`; re-check their invariants.
     config.assert_valid();
     assert_eq!(
         schedulers.len(),
-        shard_count,
+        config.shard_count(),
         "one scheduler per shard ({} shards, {} schedulers)",
-        shard_count,
+        config.shard_count(),
         schedulers.len()
     );
-    // Scenario priority overrides apply fleet-wide: every shard serves the
-    // same branch structure under the same priorities.
-    let models: Vec<ServiceModel> = config
-        .shards
-        .iter()
-        .map(|model| match &scenario.priorities {
-            Some(priorities) => model.clone().with_priorities(priorities),
-            None => model.clone(),
-        })
-        .collect();
     let branch_count = config.branch_count();
     let arrivals = scenario.generate(branch_count);
     let mut balancer = Balancer::new(config.balancer);
+    let capacity = scenario.queue_capacity;
+
+    // Per-shard runtime state, indexed by global shard id (spawn order;
+    // the initial shards keep their config order). Scenario priority
+    // overrides apply fleet-wide: every shard serves the same branch
+    // structure under the same priorities.
+    let mut shards: Vec<Shard<'a>> = config
+        .shards
+        .iter()
+        .zip(schedulers)
+        .map(|(model, scheduler)| {
+            let model = match &scenario.priorities {
+                Some(priorities) => model.clone().with_priorities(priorities),
+                None => model.clone(),
+            };
+            Shard::new(model, scheduler, ShardState::Active)
+        })
+        .collect();
 
     // Per-branch accounting, merged across shards.
     let mut issued = vec![0u64; branch_count];
     let mut completed = vec![0u64; branch_count];
     let mut dropped = vec![0u64; branch_count];
+    let mut lost = vec![0u64; branch_count];
     let mut branch_histograms: Vec<LatencyHistogram> =
         (0..branch_count).map(|_| LatencyHistogram::new()).collect();
     for request in &arrivals {
         issued[request.branch] += 1;
     }
 
-    // Per-shard state. `free_at_us` is the instant the shard's fabric
-    // frees — equivalently its last dispatch completion, which is why the
-    // makespan reads straight off it below; `pending_since_us` is the
-    // arrival instant that made its queue non-empty (a shard with queued
-    // work dispatches at `max(free_at, pending_since)`).
-    let mut free_at_us = vec![0u64; shard_count];
-    let mut pending_since_us = vec![0u64; shard_count];
-    let mut busy_us = vec![0u64; shard_count];
-    let mut backlog_us = vec![0u64; shard_count];
-    let mut shard_issued = vec![0u64; shard_count];
-    let mut shard_completed = vec![0u64; shard_count];
-    let mut shard_dropped = vec![0u64; shard_count];
-    let mut shard_histograms: Vec<LatencyHistogram> =
-        (0..shard_count).map(|_| LatencyHistogram::new()).collect();
+    // Lifecycle bookkeeping. The pre/post-failure split point is the first
+    // *scheduled* kill instant, fixed before the run starts.
+    let mut lifecycle: Vec<Lifecycle> = Vec::new();
+    let mut seq = 0u64;
+    let mut push_event = |queue: &mut Vec<Lifecycle>, at_us: u64, shard: usize, action: Action| {
+        queue.push(Lifecycle {
+            at_us,
+            rank: action.rank(),
+            seq,
+            shard,
+            action,
+        });
+        seq += 1;
+    };
+    for kill in failures.kills() {
+        let shard = match kill.target {
+            KillTarget::Shard(s) => s,
+            KillTarget::Seeded(_) => usize::MAX, // resolved at fire time
+        };
+        push_event(&mut lifecycle, kill.at_us, shard, Action::Fail(kill.target));
+    }
+    for &(at_us, shard) in &policy.drains {
+        push_event(&mut lifecycle, at_us, shard, Action::Drain);
+    }
+    if policy.idle_retire_us > 0 {
+        for (index, shard) in shards.iter_mut().enumerate() {
+            shard.idle_check_pending = true;
+            push_event(
+                &mut lifecycle,
+                policy.idle_retire_us,
+                index,
+                Action::IdleCheck,
+            );
+        }
+    }
+    let split_us = failures.first_kill_us();
+    let mut pre_failure = LatencyHistogram::new();
+    let mut post_failure = LatencyHistogram::new();
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut replaced = 0u64;
+    let mut last_scale_up: Option<u64> = None;
+    let mut recent_latencies: VecDeque<u64> = VecDeque::with_capacity(P99_WINDOW);
 
     let mut next_arrival = 0; // index into `arrivals`
 
-    // Scratch buffer for the balancer's view of the fleet, refilled per
-    // admission (hoisted out of the loop: admission runs once per request).
-    let mut loads: Vec<ShardLoad> = Vec::with_capacity(shard_count);
+    // Scratch buffer for the balancer's view of the placeable shards,
+    // refilled per placement (hoisted out of the loop).
+    let mut loads: Vec<(usize, ShardLoad)> = Vec::with_capacity(shards.len());
+
     loop {
-        // The earliest pending dispatch across the fleet: a shard with
-        // queued work fires at `max(free_at, pending_since)`; ties go to
-        // the lowest shard index (the `(time, index)` min).
-        let next_dispatch = (0..shard_count)
-            .filter(|&shard| schedulers[shard].queued() > 0)
-            .map(|shard| (free_at_us[shard].max(pending_since_us[shard]), shard))
-            .min();
         let due_arrival = arrivals.get(next_arrival).copied();
-        let admit = match (due_arrival, next_dispatch) {
-            (None, None) => break,
-            (Some(request), Some((dispatch_at, _))) => request.issued_at_us <= dispatch_at,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-        };
-        if admit {
+        // Termination: nothing left to arrive, nothing queued anywhere.
+        // Lifecycle events past the last completion are deliberately
+        // discarded — they could no longer affect any request.
+        if due_arrival.is_none() && shards.iter().all(|s| s.scheduler.queued() == 0) {
+            break;
+        }
+        // The earliest pending dispatch across the fleet: an active or
+        // draining shard with queued work fires at
+        // `max(free_at, pending_since)`; ties go to the lowest shard index
+        // (the `(time, index)` min). Warming shards hold their queue.
+        let next_dispatch = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.phase.dispatches() && s.scheduler.queued() > 0)
+            .map(|(index, s)| (s.dispatch_at(), index))
+            .min();
+        let next_life = lifecycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.at_us, e.rank, e.seq))
+            .map(|(index, _)| index);
+        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
+        let dispatch_at = next_dispatch.map_or(u64::MAX, |(t, _)| t);
+        let life_at = next_life.map_or(u64::MAX, |i| lifecycle[i].at_us);
+        if arrival_at == u64::MAX && dispatch_at == u64::MAX && life_at == u64::MAX {
+            // Queued work stranded with no event to release it would hang
+            // the loop; structurally impossible (warming shards always
+            // have a warm-up pending), but never spin.
+            debug_assert!(false, "stranded queued work with no pending event");
+            break;
+        }
+
+        if life_at <= arrival_at.min(dispatch_at) {
+            // --- Lifecycle event ---
+            let event = lifecycle.swap_remove(next_life.expect("life_at is finite"));
+            let now_us = event.at_us;
+            match event.action {
+                Action::Fail(target) => {
+                    let victim = match target {
+                        KillTarget::Shard(s) if s < shards.len() && shards[s].phase.is_alive() => {
+                            Some(s)
+                        }
+                        KillTarget::Shard(_) => None,
+                        KillTarget::Seeded(hash) => {
+                            let actives: Vec<usize> = (0..shards.len())
+                                .filter(|&s| shards[s].phase == ShardState::Active)
+                                .collect();
+                            if actives.is_empty() {
+                                None
+                            } else {
+                                Some(actives[(hash % actives.len() as u64) as usize])
+                            }
+                        }
+                    };
+                    let Some(victim) = victim else { continue };
+                    shards[victim].phase = ShardState::Failed;
+                    record(
+                        &mut scale_events,
+                        &shards,
+                        now_us,
+                        ScaleEventKind::Fail,
+                        victim,
+                    );
+                    // Orphan the dead shard's queue in its scheduler's own
+                    // dispatch order. Re-placed requests keep their
+                    // original arrival instant — migration time is queueing
+                    // time the user experiences.
+                    let mut orphans: Vec<crate::Request> = Vec::new();
+                    {
+                        let dead = &mut shards[victim];
+                        while dead.scheduler.queued() > 0 {
+                            let batch = dead.scheduler.next_batch(&dead.model, now_us, &[]);
+                            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+                            orphans.extend(batch);
+                        }
+                        dead.backlog_us = 0;
+                        dead.pending_since_us = 0;
+                        dead.issued -= orphans.len() as u64;
+                    }
+                    // Replacement spawns back to the policy floor *before*
+                    // re-placement, ignoring the cooldown: availability
+                    // first — if the whole fleet died, the orphans land on
+                    // the warming replacement and wait out its weight fill
+                    // instead of being lost. The no-op policy's floor of 0
+                    // requests nothing.
+                    if let Some(kind) = spawn {
+                        while alive_count(&shards) < policy.min_shards
+                            && alive_count(&shards) < policy.max_shards
+                        {
+                            do_spawn(
+                                now_us,
+                                kind,
+                                policy,
+                                &mut shards,
+                                &mut lifecycle,
+                                &mut push_event,
+                                &mut scale_events,
+                            );
+                            last_scale_up = Some(now_us);
+                        }
+                    }
+                    // Re-place each orphan through the live balancer. A
+                    // request is lost when the balancer's pick has no
+                    // queue space — the load-aware policies steer to free
+                    // queues, so their losses mean real exhaustion, while
+                    // round-robin/branch-sharded can lose with capacity
+                    // elsewhere (placement policy is part of the
+                    // availability story).
+                    for request in orphans {
+                        collect_placeable(&mut loads, &shards);
+                        if loads.is_empty() {
+                            lost[request.branch] += 1;
+                            continue;
+                        }
+                        let dst = balancer.place(&request, &loads, now_us, capacity);
+                        if shards[dst].scheduler.queued() >= capacity {
+                            lost[request.branch] += 1;
+                            continue;
+                        }
+                        let target = &mut shards[dst];
+                        if target.scheduler.queued() == 0 {
+                            target.pending_since_us = now_us;
+                        }
+                        if failures.repay_fill() && target.phase != ShardState::Warming {
+                            // The migrated identity's weights are not
+                            // resident on the new shard: its fabric spends
+                            // the branch fill re-streaming them. A warming
+                            // destination skips the charge — its warm-up
+                            // streaming already covers the fill, and the
+                            // Warm handler would subsume the window anyway.
+                            let fill = target.model.branches[request.branch].fill_time_us;
+                            target.free_at_us = target.free_at_us.max(now_us) + fill;
+                            target.busy_us += fill;
+                        }
+                        target.backlog_us += target.model.batch_service_us(request.branch, 1);
+                        target.scheduler.enqueue(request, now_us);
+                        balancer.note_admitted(request.session, dst);
+                        target.issued += 1;
+                        replaced += 1;
+                    }
+                }
+                Action::Drain => {
+                    let shard = event.shard;
+                    if shard >= shards.len() || shards[shard].phase != ShardState::Active {
+                        continue;
+                    }
+                    let floor = policy.min_shards.max(1);
+                    if active_count(&shards) <= floor {
+                        continue;
+                    }
+                    shards[shard].phase = ShardState::Draining;
+                    record(
+                        &mut scale_events,
+                        &shards,
+                        now_us,
+                        ScaleEventKind::Drain,
+                        shard,
+                    );
+                    if shards[shard].scheduler.queued() == 0 {
+                        retire(&mut shards, &mut scale_events, now_us, shard);
+                    }
+                }
+                Action::Warm => {
+                    let shard = event.shard;
+                    if shards[shard].phase == ShardState::Warming {
+                        shards[shard].phase = ShardState::Active;
+                        // The fabric spent the warm-up streaming identity
+                        // weights: nothing can have dispatched before this
+                        // instant, even for work queued while warming.
+                        shards[shard].free_at_us = shards[shard].free_at_us.max(now_us);
+                        record(
+                            &mut scale_events,
+                            &shards,
+                            now_us,
+                            ScaleEventKind::Warm,
+                            shard,
+                        );
+                    }
+                }
+                Action::IdleCheck => {
+                    let shard = event.shard;
+                    if shard >= shards.len() {
+                        continue;
+                    }
+                    shards[shard].idle_check_pending = false;
+                    if shards[shard].phase != ShardState::Active
+                        || shards[shard].scheduler.queued() > 0
+                    {
+                        continue; // a fresh check is scheduled when it idles again
+                    }
+                    if shards[shard].free_at_us + policy.idle_retire_us > now_us {
+                        // Busy since the check was scheduled; look again
+                        // once the full idle window has elapsed.
+                        shards[shard].idle_check_pending = true;
+                        push_event(
+                            &mut lifecycle,
+                            shards[shard].free_at_us + policy.idle_retire_us,
+                            shard,
+                            Action::IdleCheck,
+                        );
+                        continue;
+                    }
+                    let floor = policy.min_shards.max(1);
+                    if active_count(&shards) <= floor {
+                        continue;
+                    }
+                    // Idle retirement skips the Draining phase outright:
+                    // the queue is empty, so the shard leaves in one step.
+                    retire(&mut shards, &mut scale_events, now_us, shard);
+                }
+            }
+        } else if arrival_at <= dispatch_at {
+            // --- Admission ---
             // Route one arrival at its issue instant, against the live
-            // shard loads, then admit or drop on the chosen shard's queue.
-            let request = due_arrival.expect("admit implies a due arrival");
+            // placeable shards, then admit or drop on the chosen shard's
+            // queue. With no placeable shard left (every survivor dead or
+            // draining), the request is lost outright.
+            let request = due_arrival.expect("arrival_at is finite");
             next_arrival += 1;
             let now_us = request.issued_at_us;
-            loads.clear();
-            loads.extend((0..shard_count).map(|shard| ShardLoad {
-                queued: schedulers[shard].queued(),
-                free_at_us: free_at_us[shard],
-                backlog_us: backlog_us[shard],
-            }));
-            let shard = balancer.place(&request, &loads, now_us, scenario.queue_capacity);
-            shard_issued[shard] += 1;
-            if schedulers[shard].queued() >= scenario.queue_capacity {
+            collect_placeable(&mut loads, &shards);
+            if loads.is_empty() {
+                lost[request.branch] += 1;
+                continue;
+            }
+            let shard = balancer.place(&request, &loads, now_us, capacity);
+            let target = &mut shards[shard];
+            target.issued += 1;
+            if target.scheduler.queued() >= capacity {
                 dropped[request.branch] += 1;
-                shard_dropped[shard] += 1;
+                target.dropped += 1;
             } else {
-                if schedulers[shard].queued() == 0 {
-                    pending_since_us[shard] = now_us;
+                if target.scheduler.queued() == 0 {
+                    target.pending_since_us = now_us;
                 }
-                backlog_us[shard] += models[shard].batch_service_us(request.branch, 1);
-                schedulers[shard].enqueue(request, now_us);
+                target.backlog_us += target.model.batch_service_us(request.branch, 1);
+                target.scheduler.enqueue(request, now_us);
                 balancer.note_admitted(request.session, shard);
             }
+            // Queue-pressure scale-up: mean depth across active shards.
+            if let Some(kind) = spawn.filter(|_| policy.scale_up_queue_depth > 0) {
+                let actives = active_count(&shards);
+                let queued: usize = shards
+                    .iter()
+                    .filter(|s| s.phase == ShardState::Active)
+                    .map(|s| s.scheduler.queued())
+                    .sum();
+                if actives > 0
+                    && queued >= policy.scale_up_queue_depth * actives
+                    && alive_count(&shards) < policy.max_shards
+                    && last_scale_up.is_none_or(|t| now_us >= t.saturating_add(policy.cooldown_us))
+                {
+                    do_spawn(
+                        now_us,
+                        kind,
+                        policy,
+                        &mut shards,
+                        &mut lifecycle,
+                        &mut push_event,
+                        &mut scale_events,
+                    );
+                    last_scale_up = Some(now_us);
+                }
+            }
         } else {
+            // --- Dispatch ---
             // Dispatch one batch on the shard that fires earliest; its
             // fabric is busy (weight streaming, then compute) until the
             // whole batch completes. The empty slice tells the scheduler
             // the shard is fully time-multiplexed: every branch is
             // dispatchable the moment the fabric frees.
-            let (now_us, shard) = next_dispatch.expect("no arrival due implies a pending dispatch");
-            let batch = schedulers[shard].next_batch(&models[shard], now_us, &[]);
-            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
-            let branch = batch[0].branch;
-            debug_assert!(batch.iter().all(|r| r.branch == branch));
-            let service_us = models[shard].batch_service_us(branch, batch.len());
-            let done_us = now_us + service_us;
-            busy_us[shard] += service_us;
+            let (now_us, shard) = next_dispatch.expect("dispatch_at is finite");
+            let (batch, service_us, done_us) = {
+                let s = &mut shards[shard];
+                let batch = s.scheduler.next_batch(&s.model, now_us, &[]);
+                debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+                let branch = batch[0].branch;
+                debug_assert!(batch.iter().all(|r| r.branch == branch));
+                let service_us = s.model.batch_service_us(branch, batch.len());
+                (batch, service_us, now_us + service_us)
+            };
+            shards[shard].busy_us += service_us;
             for request in &batch {
                 let latency_us = request.latency_us(done_us);
                 branch_histograms[request.branch].record(latency_us);
-                shard_histograms[shard].record(latency_us);
                 completed[request.branch] += 1;
-                shard_completed[shard] += 1;
-                backlog_us[shard] = backlog_us[shard]
-                    .saturating_sub(models[shard].batch_service_us(request.branch, 1));
+                let s = &mut shards[shard];
+                s.histogram.record(latency_us);
+                s.completed += 1;
+                let single_us = s.model.batch_service_us(request.branch, 1);
+                s.backlog_us = s.backlog_us.saturating_sub(single_us);
+                if let Some(split) = split_us {
+                    if done_us < split {
+                        pre_failure.record(latency_us);
+                    } else {
+                        post_failure.record(latency_us);
+                    }
+                }
+                if spawn.is_some() && policy.scale_up_p99_ms > 0.0 {
+                    if recent_latencies.len() == P99_WINDOW {
+                        recent_latencies.pop_front();
+                    }
+                    recent_latencies.push_back(latency_us);
+                }
             }
-            free_at_us[shard] = done_us;
-            pending_since_us[shard] = 0;
+            shards[shard].free_at_us = done_us;
+            shards[shard].pending_since_us = 0;
+            if shards[shard].phase == ShardState::Draining && shards[shard].scheduler.queued() == 0
+            {
+                retire(&mut shards, &mut scale_events, done_us, shard);
+            } else if shards[shard].phase == ShardState::Active
+                && shards[shard].scheduler.queued() == 0
+                && policy.idle_retire_us > 0
+                && !shards[shard].idle_check_pending
+            {
+                shards[shard].idle_check_pending = true;
+                push_event(
+                    &mut lifecycle,
+                    done_us + policy.idle_retire_us,
+                    shard,
+                    Action::IdleCheck,
+                );
+            }
+            // Rolling-p99 scale-up trigger.
+            if let Some(kind) = spawn.filter(|_| {
+                policy.scale_up_p99_ms > 0.0
+                    && recent_latencies.len() >= P99_MIN_SAMPLES
+                    && alive_count(&shards) < policy.max_shards
+                    && last_scale_up.is_none_or(|t| done_us >= t.saturating_add(policy.cooldown_us))
+            }) {
+                let mut window: Vec<u64> = recent_latencies.iter().copied().collect();
+                window.sort_unstable();
+                let rank = ((window.len() as f64 * 0.99).ceil() as usize).clamp(1, window.len());
+                let p99_ms = window[rank - 1] as f64 / 1_000.0;
+                if p99_ms >= policy.scale_up_p99_ms {
+                    do_spawn(
+                        done_us,
+                        kind,
+                        policy,
+                        &mut shards,
+                        &mut lifecycle,
+                        &mut push_event,
+                        &mut scale_events,
+                    );
+                    last_scale_up = Some(done_us);
+                }
+            }
         }
     }
 
+    // Events carry true timestamps but can be appended slightly out of
+    // order (a retirement is stamped at its final batch's completion,
+    // which the loop processes at the batch's start time); a stable sort
+    // restores the promised time order while keeping the causal
+    // fail → up → warm sequence at equal instants.
+    scale_events.sort_by(|a, b| a.at_sec.total_cmp(&b.at_sec));
+
+    let shard_count = shards.len();
     let total_issued: u64 = issued.iter().sum();
     let total_completed: u64 = completed.iter().sum();
     let total_dropped: u64 = dropped.iter().sum();
-    let total_busy_us: u64 = busy_us.iter().sum();
-    let makespan_us = free_at_us.iter().copied().max().unwrap_or(0);
+    let total_lost: u64 = lost.iter().sum();
+    let total_busy_us: u64 = shards.iter().map(|s| s.busy_us).sum();
+    let makespan_us = shards.iter().map(|s| s.free_at_us).max().unwrap_or(0);
     let makespan_sec = makespan_us as f64 / 1e6;
     // The fleet-wide latency distribution is the exact merge of the
     // per-shard histograms (fixed buckets make the merge lossless).
     let mut overall = LatencyHistogram::new();
-    for histogram in &shard_histograms {
-        overall.merge(histogram);
+    for shard in &shards {
+        overall.merge(&shard.histogram);
     }
-    let branches = models[0]
+    let branches = shards[0]
+        .model
         .branches
         .iter()
         .enumerate()
@@ -223,25 +726,28 @@ pub fn simulate_fleet_with(
             issued: issued[index],
             completed: completed[index],
             dropped: dropped[index],
+            lost: lost[index],
             latency: LatencySummary::of(&branch_histograms[index]),
         })
         .collect();
-    let shards: Vec<ShardStats> = (0..shard_count)
-        .map(|shard| ShardStats {
-            issued: shard_issued[shard],
-            completed: shard_completed[shard],
-            dropped: shard_dropped[shard],
+    let shard_stats: Vec<ShardStats> = shards
+        .iter()
+        .map(|s| ShardStats {
+            issued: s.issued,
+            completed: s.completed,
+            dropped: s.dropped,
+            state: s.phase,
             utilization: if makespan_us > 0 {
-                busy_us[shard] as f64 / makespan_us as f64
+                s.busy_us as f64 / makespan_us as f64
             } else {
                 0.0
             },
-            latency: LatencySummary::of(&shard_histograms[shard]),
+            latency: LatencySummary::of(&s.histogram),
         })
         .collect();
     let imbalance = {
-        let max = busy_us.iter().copied().max().unwrap_or(0);
-        let min = busy_us.iter().copied().min().unwrap_or(0);
+        let max = shards.iter().map(|s| s.busy_us).max().unwrap_or(0);
+        let min = shards.iter().map(|s| s.busy_us).min().unwrap_or(0);
         let mean = total_busy_us as f64 / shard_count as f64;
         if mean > 0.0 {
             (max - min) as f64 / mean
@@ -252,8 +758,11 @@ pub fn simulate_fleet_with(
     // A fleet built by `simulate_fleet` runs one discipline everywhere;
     // caller-provided shard schedulers may mix disciplines, and the report
     // says so rather than quoting shard 0 for the whole fleet.
-    let scheduler_name = if schedulers.iter().all(|s| s.name() == schedulers[0].name()) {
-        schedulers[0].name()
+    let scheduler_name = if shards
+        .iter()
+        .all(|s| s.scheduler.name() == shards[0].scheduler.name())
+    {
+        shards[0].scheduler.name()
     } else {
         "mixed"
     };
@@ -285,8 +794,90 @@ pub fn simulate_fleet_with(
         imbalance,
         latency: LatencySummary::of(&overall),
         branches,
-        shards,
+        shards: shard_stats,
+        replaced,
+        lost: total_lost,
+        availability: if total_issued == 0 {
+            1.0
+        } else {
+            total_completed as f64 / total_issued as f64
+        },
+        latency_pre_failure: LatencySummary::of(&pre_failure),
+        latency_post_failure: LatencySummary::of(&post_failure),
+        scale_events,
     }
+}
+
+/// Fills `loads` with the placeable shards' `(global id, load)` pairs:
+/// the active shards, or — only when none is active — the warming ones
+/// (their queues hold until warmed, but the work is not lost).
+fn collect_placeable(loads: &mut Vec<(usize, ShardLoad)>, shards: &[Shard]) {
+    for wanted in [ShardState::Active, ShardState::Warming] {
+        loads.clear();
+        loads.extend(
+            shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.phase == wanted)
+                .map(|(index, s)| (index, s.load())),
+        );
+        if !loads.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Decommissions a shard (from Draining, or straight from Active on idle
+/// retirement — its queue is already empty) and logs the retirement.
+fn retire(shards: &mut [Shard], events: &mut Vec<ScaleEvent>, at_us: u64, shard: usize) {
+    shards[shard].phase = ShardState::Retired;
+    record(events, shards, at_us, ScaleEventKind::Retire, shard);
+}
+
+/// Appends a scale event with the post-event active-shard count.
+fn record(
+    events: &mut Vec<ScaleEvent>,
+    shards: &[Shard],
+    at_us: u64,
+    kind: ScaleEventKind,
+    shard: usize,
+) {
+    events.push(ScaleEvent {
+        at_sec: at_us as f64 / 1e6,
+        kind,
+        shard,
+        active_after: active_count(shards),
+    });
+}
+
+/// Spawns one warming shard cloned from shard 0's service model and
+/// schedules its warm-up completion (plus its first idle check). The
+/// shard dispatches nothing until the `Warm` event fires — the warm-up
+/// handler raises `free_at_us` to the warm instant, so even work queued
+/// while warming cannot complete before the weight fill ends.
+fn do_spawn<'a>(
+    now_us: u64,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    shards: &mut Vec<Shard<'a>>,
+    lifecycle: &mut Vec<Lifecycle>,
+    push_event: &mut impl FnMut(&mut Vec<Lifecycle>, u64, usize, Action),
+    scale_events: &mut Vec<ScaleEvent>,
+) {
+    let shard = shards.len();
+    let template = shards[0].model.clone();
+    shards.push(Shard::new(template, kind.build(), ShardState::Warming));
+    push_event(lifecycle, now_us + policy.warmup_us, shard, Action::Warm);
+    if policy.idle_retire_us > 0 {
+        shards[shard].idle_check_pending = true;
+        push_event(
+            lifecycle,
+            now_us + policy.warmup_us + policy.idle_retire_us,
+            shard,
+            Action::IdleCheck,
+        );
+    }
+    record(scale_events, shards, now_us, ScaleEventKind::Up, shard);
 }
 
 #[cfg(test)]
@@ -372,6 +963,7 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert!(report.conserves_requests());
         assert_eq!(report.throughput_rps, 0.0);
+        assert_eq!(report.availability, 1.0);
     }
 
     #[test]
@@ -445,5 +1037,105 @@ mod tests {
             report.shards[0].completed,
             report.shards[1].completed
         );
+    }
+
+    #[test]
+    fn a_fixed_fleet_reports_every_shard_active_and_no_events() {
+        let report = simulate_fleet(
+            &FleetConfig::uniform(test_model(), 2),
+            &Scenario::b2(),
+            SchedulerKind::BatchAggregating,
+        );
+        assert!(report.scale_events.is_empty());
+        assert_eq!(report.replaced, 0);
+        assert_eq!(report.lost, 0);
+        assert!(report
+            .shards
+            .iter()
+            .all(|s| s.state == crate::ShardState::Active));
+        assert_eq!(report.latency_pre_failure, LatencySummary::default());
+        assert_eq!(report.latency_post_failure, LatencySummary::default());
+    }
+
+    #[test]
+    fn a_mid_run_failure_re_places_or_loses_the_orphaned_queue() {
+        let config =
+            FleetConfig::uniform(test_model(), 2).with_balancer(LoadBalancerKind::LeastLoaded);
+        let scenario = Scenario::b2();
+        let plan = FailurePlan::scheduled(&[(1_000_000, 1)]);
+        let report = simulate_autoscaled(
+            &config,
+            &scenario,
+            SchedulerKind::BatchAggregating,
+            &Autoscaler::none(),
+            &plan,
+        );
+        assert!(report.conserves_requests());
+        assert_eq!(report.shards[1].state, crate::ShardState::Failed);
+        assert_eq!(report.shards[0].state, crate::ShardState::Active);
+        assert!(
+            report
+                .scale_events
+                .iter()
+                .any(|e| e.kind == ScaleEventKind::Fail && e.shard == 1),
+            "missing fail event: {:?}",
+            report.scale_events
+        );
+        // The surviving shard carries strictly more than half the work.
+        assert!(report.shards[0].completed > report.completed / 2);
+    }
+
+    #[test]
+    fn killing_a_nonexistent_shard_changes_nothing() {
+        let config = FleetConfig::uniform(test_model(), 2);
+        let scenario = Scenario::b2();
+        let baseline = simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating);
+        let with_noop_kill = simulate_autoscaled(
+            &config,
+            &scenario,
+            SchedulerKind::BatchAggregating,
+            &Autoscaler::none(),
+            &FailurePlan::scheduled(&[(1_000_000, 9)]),
+        );
+        // The phantom kill fires on no shard; only the pre/post-failure
+        // split (anchored at the scheduled instant) may differ.
+        assert_eq!(baseline.completed, with_noop_kill.completed);
+        assert_eq!(baseline.latency, with_noop_kill.latency);
+        assert!(with_noop_kill.scale_events.is_empty());
+        assert_eq!(with_noop_kill.lost, 0);
+    }
+
+    #[test]
+    fn queue_pressure_spawns_within_policy_bounds() {
+        // One shard under five bursty sessions trips the depth trigger.
+        let config = FleetConfig::uniform(test_model(), 1);
+        let policy = Autoscaler::reactive(1, 3)
+            .with_scale_up_queue_depth(4)
+            .with_warmup_us(10_000)
+            .with_cooldown_us(50_000)
+            .with_idle_retire_us(0);
+        let report = simulate_autoscaled(
+            &config,
+            &Scenario::b2(),
+            SchedulerKind::BatchAggregating,
+            &policy,
+            &FailurePlan::none(),
+        );
+        assert!(report.conserves_requests());
+        let ups = report
+            .scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleEventKind::Up)
+            .count();
+        assert!(
+            ups >= 1,
+            "pressure never tripped: {:?}",
+            report.scale_events
+        );
+        assert!(report.shard_count() <= 3);
+        // Every spawned shard eventually warmed and served.
+        for shard in &report.shards[1..] {
+            assert!(shard.completed > 0, "spawned shard never served");
+        }
     }
 }

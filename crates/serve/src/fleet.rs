@@ -186,30 +186,42 @@ impl Balancer {
         }
     }
 
-    /// Picks the shard for `request`. The engine still drops the request
+    /// Picks the shard for `request` among the placeable candidates, given
+    /// as `(global shard id, load)` pairs — a dynamic fleet's warming,
+    /// draining and dead shards are simply absent from the slice, and the
+    /// returned id is the global one. The engine still drops the request
     /// if the chosen shard's queue is full; adaptive policies steer away
-    /// from full queues when any shard has space.
+    /// from full queues when any candidate has space.
     pub(crate) fn place(
         &mut self,
         request: &Request,
-        loads: &[ShardLoad],
+        shards: &[(usize, ShardLoad)],
         now_us: u64,
         capacity: usize,
     ) -> usize {
         match self.kind {
             LoadBalancerKind::RoundRobin => {
-                let shard = self.next_round_robin % loads.len();
-                self.next_round_robin = (self.next_round_robin + 1) % loads.len();
+                let shard = shards[self.next_round_robin % shards.len()].0;
+                self.next_round_robin = (self.next_round_robin + 1) % shards.len();
                 shard
             }
-            LoadBalancerKind::BranchSharded => request.branch % loads.len(),
-            LoadBalancerKind::LeastLoaded => least_loaded(loads, now_us, capacity),
+            LoadBalancerKind::BranchSharded => shards[request.branch % shards.len()].0,
+            LoadBalancerKind::LeastLoaded => least_loaded(shards, now_us, capacity),
             LoadBalancerKind::AffinityFirst => {
                 match self.affinity.get(request.session).copied().flatten() {
                     // The pinned shard holds this identity's weights; stay
-                    // unless its queue is full.
-                    Some(pinned) if loads[pinned].queued < capacity => pinned,
-                    _ => least_loaded(loads, now_us, capacity),
+                    // while it is placeable and has queue space. A pin to a
+                    // failed or draining shard is simply not among the
+                    // candidates, so the session re-places (and re-pins)
+                    // through the least-loaded fallback.
+                    Some(pinned)
+                        if shards
+                            .iter()
+                            .any(|&(id, load)| id == pinned && load.queued < capacity) =>
+                    {
+                        pinned
+                    }
+                    _ => least_loaded(shards, now_us, capacity),
                 }
             }
         }
@@ -228,21 +240,21 @@ impl Balancer {
     }
 }
 
-/// The least-loaded shard by `(load_us, queued, index)`, preferring shards
-/// with queue space; only when every queue is full does the pick fall back
-/// to the least-loaded full shard (where the engine will record the drop).
-fn least_loaded(loads: &[ShardLoad], now_us: u64, capacity: usize) -> usize {
+/// The least-loaded candidate by `(load_us, queued, global id)`, preferring
+/// shards with queue space; only when every queue is full does the pick
+/// fall back to the least-loaded full shard (where the engine will record
+/// the drop).
+fn least_loaded(shards: &[(usize, ShardLoad)], now_us: u64, capacity: usize) -> usize {
     let pick = |require_space: bool| {
-        loads
+        shards
             .iter()
-            .enumerate()
             .filter(|(_, load)| !require_space || load.queued < capacity)
-            .min_by_key(|(index, load)| (load.load_us(now_us), load.queued, *index))
-            .map(|(index, _)| index)
+            .min_by_key(|(id, load)| (load.load_us(now_us), load.queued, *id))
+            .map(|(id, _)| *id)
     };
     pick(true)
         .or_else(|| pick(false))
-        .expect("a fleet always has at least one shard")
+        .expect("placement needs at least one candidate shard")
 }
 
 #[cfg(test)]
@@ -259,15 +271,19 @@ mod tests {
         }
     }
 
-    fn idle(shards: usize) -> Vec<ShardLoad> {
-        vec![
-            ShardLoad {
-                queued: 0,
-                free_at_us: 0,
-                backlog_us: 0,
-            };
-            shards
-        ]
+    fn idle(shards: usize) -> Vec<(usize, ShardLoad)> {
+        (0..shards)
+            .map(|id| {
+                (
+                    id,
+                    ShardLoad {
+                        queued: 0,
+                        free_at_us: 0,
+                        backlog_us: 0,
+                    },
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -293,16 +309,22 @@ mod tests {
     fn least_loaded_follows_the_free_hint_and_backlog() {
         let mut balancer = Balancer::new(LoadBalancerKind::LeastLoaded);
         let loads = vec![
-            ShardLoad {
-                queued: 2,
-                free_at_us: 9_000,
-                backlog_us: 8_000,
-            },
-            ShardLoad {
-                queued: 1,
-                free_at_us: 4_000,
-                backlog_us: 2_000,
-            },
+            (
+                0,
+                ShardLoad {
+                    queued: 2,
+                    free_at_us: 9_000,
+                    backlog_us: 8_000,
+                },
+            ),
+            (
+                1,
+                ShardLoad {
+                    queued: 1,
+                    free_at_us: 4_000,
+                    backlog_us: 2_000,
+                },
+            ),
         ];
         // Shard 1: 3_000 µs remaining busy + 2_000 backlog < shard 0's
         // 8_000 + 8_000.
@@ -313,16 +335,22 @@ mod tests {
     fn least_loaded_avoids_full_queues_while_space_remains() {
         let mut balancer = Balancer::new(LoadBalancerKind::LeastLoaded);
         let loads = vec![
-            ShardLoad {
-                queued: 4,
-                free_at_us: 0,
-                backlog_us: 0,
-            },
-            ShardLoad {
-                queued: 3,
-                free_at_us: 50_000,
-                backlog_us: 40_000,
-            },
+            (
+                0,
+                ShardLoad {
+                    queued: 4,
+                    free_at_us: 0,
+                    backlog_us: 0,
+                },
+            ),
+            (
+                1,
+                ShardLoad {
+                    queued: 3,
+                    free_at_us: 50_000,
+                    backlog_us: 40_000,
+                },
+            ),
         ];
         // Shard 0 is lighter but full (capacity 4): the heavier shard with
         // space wins; once both are full the lighter one takes the drop.
@@ -338,17 +366,35 @@ mod tests {
         assert_eq!(balancer.place(&request(5, 0), &loads, 0, 2), 0);
         balancer.note_admitted(5, 0);
         // Even with shard 0 busier, the pin holds while it has space…
-        loads[0] = ShardLoad {
+        loads[0].1 = ShardLoad {
             queued: 1,
             free_at_us: 90_000,
             backlog_us: 9_000,
         };
         assert_eq!(balancer.place(&request(5, 1), &loads, 0, 2), 0);
         // …and spills (re-pinning on admission) once the queue fills.
-        loads[0].queued = 2;
+        loads[0].1.queued = 2;
         assert_eq!(balancer.place(&request(5, 2), &loads, 0, 2), 1);
         balancer.note_admitted(5, 1);
         assert_eq!(balancer.place(&request(5, 0), &loads, 0, 2), 1);
+    }
+
+    #[test]
+    fn affinity_re_places_when_the_pinned_shard_leaves_the_candidate_set() {
+        // A session pinned to a shard that failed (or is draining) no
+        // longer finds it among the placeable candidates and falls back to
+        // the least-loaded survivor.
+        let mut balancer = Balancer::new(LoadBalancerKind::AffinityFirst);
+        balancer.note_admitted(3, 0);
+        let survivors = vec![(
+            1,
+            ShardLoad {
+                queued: 1,
+                free_at_us: 5_000,
+                backlog_us: 4_000,
+            },
+        )];
+        assert_eq!(balancer.place(&request(3, 0), &survivors, 0, 16), 1);
     }
 
     #[test]

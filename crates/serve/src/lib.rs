@@ -24,11 +24,21 @@
 //!   session-affinity-with-spill and per-branch-sharded placement. The
 //!   single-device [`simulate`] path is the one-shard special case of
 //!   [`simulate_fleet`], bit for bit.
+//! - **Availability** ([`Autoscaler`], [`FailurePlan`]): a dynamic-fleet
+//!   layer over the same loop — shards move through
+//!   warming/active/draining/retired/failed lifecycle states
+//!   ([`ShardState`]), the autoscaler spawns on queue or tail pressure
+//!   (paying a warm-up weight fill) and drains idle shards, and the
+//!   failure injector kills shards mid-run, re-placing their orphaned
+//!   queues through the live balancer. [`simulate_fleet`] is
+//!   [`simulate_autoscaled`] under the no-op policy, bit for bit.
 //! - **Reporting** ([`ServeReport`]): throughput, utilization, drop rate
 //!   and p50/p95/p99 latency from a fixed-bucket histogram
 //!   ([`LatencyHistogram`]), plus per-shard utilization/imbalance
-//!   ([`ShardStats`]) and a merged fleet-wide latency histogram, rendered
-//!   as a single machine-readable JSON line.
+//!   ([`ShardStats`]), availability (completed/issued with re-placed and
+//!   lost counts, pre/post-failure tails, the [`ScaleEvent`] lifecycle
+//!   log) and a merged fleet-wide latency histogram, rendered as a single
+//!   machine-readable JSON line.
 //!
 //! # Example
 //!
@@ -53,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod engine;
 mod fleet;
 mod histogram;
@@ -63,7 +74,10 @@ mod request;
 mod scenario;
 mod scheduler;
 
-pub use engine::{simulate, simulate_fleet, simulate_fleet_with, simulate_with};
+pub use autoscale::{Autoscaler, FailurePlan, ScaleEvent, ScaleEventKind, ShardState};
+pub use engine::{
+    simulate, simulate_autoscaled, simulate_fleet, simulate_fleet_with, simulate_with,
+};
 pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
 pub use model::{BranchService, ServiceModel};

@@ -1,6 +1,7 @@
 //! Serving-run reports: throughput, utilization, drops and latency
 //! percentiles, per accelerator and per branch.
 
+use crate::autoscale::{ScaleEvent, ShardState};
 use crate::histogram::LatencyHistogram;
 use crate::json::{array, JsonObject};
 use serde::{Deserialize, Serialize};
@@ -46,6 +47,10 @@ pub struct BranchServeStats {
     pub completed: u64,
     /// Requests dropped at admission (queue full).
     pub dropped: u64,
+    /// Requests lost to shard failure (orphaned by a dead shard and not
+    /// admitted by the balancer's re-placement pick, or arriving while no
+    /// shard was placeable).
+    pub lost: u64,
     /// Latency summary over completed requests.
     pub latency: LatencySummary,
 }
@@ -59,6 +64,9 @@ pub struct ShardStats {
     pub completed: u64,
     /// Requests dropped at this shard's full queue.
     pub dropped: u64,
+    /// The shard's lifecycle state at the end of the run (every shard of
+    /// a fixed fleet stays active).
+    pub state: ShardState,
     /// This shard's busy time over the fleet makespan (1.0 = busy the
     /// whole run).
     pub utilization: f64,
@@ -107,26 +115,52 @@ pub struct ServeReport {
     pub latency: LatencySummary,
     /// Per-branch statistics, in branch order, merged across shards.
     pub branches: Vec<BranchServeStats>,
-    /// Per-shard statistics, in shard order (one entry for a single
-    /// device).
+    /// Per-shard statistics covering every shard that ever existed, in
+    /// spawn order (one entry for a single device; autoscaled runs append
+    /// spawned shards after the initial ones).
     pub shards: Vec<ShardStats>,
+    /// Requests re-placed onto surviving shards after a failure (each
+    /// migration counts once, so a twice-orphaned request counts twice).
+    pub replaced: u64,
+    /// Requests lost to shard failure: orphaned by a dead shard and not
+    /// admitted by the balancer's re-placement pick, or arriving while no
+    /// shard was placeable. Load-aware balancers steer re-placement to
+    /// queues with space, so their losses mean real exhaustion; static
+    /// policies (round-robin, branch-sharded) can lose requests while
+    /// capacity remains elsewhere.
+    pub lost: u64,
+    /// `completed / issued` — the fraction of decode requests that made it
+    /// out (1.0 for an empty run). `1 − availability` is the drop rate
+    /// plus the loss rate.
+    pub availability: f64,
+    /// Latency of completions strictly before the first scheduled failure
+    /// (all zeros when the run injects no failure).
+    pub latency_pre_failure: LatencySummary,
+    /// Latency of completions at or after the first scheduled failure
+    /// (all zeros when the run injects no failure).
+    pub latency_post_failure: LatencySummary,
+    /// Fleet lifecycle log — spawns, warm-ups, drains, retirements and
+    /// failures in time order; empty for a fixed fleet.
+    pub scale_events: Vec<ScaleEvent>,
 }
 
 impl ServeReport {
-    /// Sanity invariant: every issued request is accounted for — in total,
-    /// per branch, and per shard (every request is routed to exactly one
-    /// shard, so shard totals also sum back to the fleet totals).
+    /// Sanity invariant: every issued request is accounted for — in total
+    /// (completed, dropped at admission, or lost to failure), per branch,
+    /// and per shard. Every request is routed to exactly one shard's front
+    /// door — lost requests to none — so shard totals also sum back to the
+    /// fleet totals.
     pub fn conserves_requests(&self) -> bool {
-        self.completed + self.dropped == self.issued
+        self.completed + self.dropped + self.lost == self.issued
             && self
                 .branches
                 .iter()
-                .all(|b| b.completed + b.dropped == b.issued)
+                .all(|b| b.completed + b.dropped + b.lost == b.issued)
             && self
                 .shards
                 .iter()
                 .all(|s| s.completed + s.dropped == s.issued)
-            && self.shards.iter().map(|s| s.issued).sum::<u64>() == self.issued
+            && self.shards.iter().map(|s| s.issued).sum::<u64>() + self.lost == self.issued
             && self.shards.iter().map(|s| s.completed).sum::<u64>() == self.completed
     }
 
@@ -140,7 +174,10 @@ impl ServeReport {
         self.branches.get(index)
     }
 
-    /// Renders the report as one machine-readable JSON line.
+    /// Renders the report as one machine-readable JSON line. New fields
+    /// are only ever appended at the end of each object, so consumers that
+    /// index existing keys (or cut the line positionally up to `shards`)
+    /// keep working across format growth.
     pub fn to_json_line(&self) -> String {
         let branches: Vec<String> = self
             .branches
@@ -155,6 +192,7 @@ impl ServeReport {
                     .f64("p50_ms", b.latency.p50_ms)
                     .f64("p99_ms", b.latency.p99_ms)
                     .f64("max_ms", b.latency.max_ms)
+                    .u64("lost", b.lost)
                     .render()
             })
             .collect();
@@ -170,6 +208,19 @@ impl ServeReport {
                     .f64("p50_ms", s.latency.p50_ms)
                     .f64("p99_ms", s.latency.p99_ms)
                     .f64("max_ms", s.latency.max_ms)
+                    .str("state", s.state.name())
+                    .render()
+            })
+            .collect();
+        let scale_events: Vec<String> = self
+            .scale_events
+            .iter()
+            .map(|e| {
+                JsonObject::new()
+                    .f64("at_sec", e.at_sec)
+                    .str("kind", e.kind.name())
+                    .u64("shard", e.shard as u64)
+                    .u64("active_after", e.active_after as u64)
                     .render()
             })
             .collect();
@@ -194,6 +245,12 @@ impl ServeReport {
             .f64("max_ms", self.latency.max_ms)
             .raw("branches", &array(&branches))
             .raw("shards", &array(&shards))
+            .u64("replaced", self.replaced)
+            .u64("lost", self.lost)
+            .f64("availability", self.availability)
+            .f64("pre_failure_p99_ms", self.latency_pre_failure.p99_ms)
+            .f64("post_failure_p99_ms", self.latency_post_failure.p99_ms)
+            .raw("scale_events", &array(&scale_events))
             .render()
     }
 }
@@ -224,15 +281,23 @@ mod tests {
                 issued: 10,
                 completed: 9,
                 dropped: 1,
+                lost: 0,
                 latency: LatencySummary::default(),
             }],
             shards: vec![ShardStats {
                 issued: 10,
                 completed: 9,
                 dropped: 1,
+                state: ShardState::Active,
                 utilization: 0.5,
                 latency: LatencySummary::default(),
             }],
+            replaced: 0,
+            lost: 0,
+            availability: 0.9,
+            latency_pre_failure: LatencySummary::default(),
+            latency_post_failure: LatencySummary::default(),
+            scale_events: Vec::new(),
         }
     }
 
@@ -258,6 +323,11 @@ mod tests {
             "\"imbalance\":",
             "\"branches\":[{",
             "\"shards\":[{",
+            "\"replaced\":0",
+            "\"lost\":0",
+            "\"availability\":0.9000",
+            "\"scale_events\":[]",
+            "\"state\":\"active\"",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -274,5 +344,35 @@ mod tests {
             !split.conserves_requests(),
             "shard issued counts must sum to the fleet total"
         );
+    }
+
+    #[test]
+    fn conservation_accounts_lost_requests_outside_the_shards() {
+        // A request lost at failure belongs to no shard's front door: the
+        // fleet totals carry it, the shard sums run `lost` short.
+        let mut r = report();
+        r.issued = 12;
+        r.lost = 2;
+        r.branches[0].issued = 12;
+        r.branches[0].lost = 2;
+        assert!(r.conserves_requests());
+        r.lost = 1;
+        assert!(!r.conserves_requests(), "fleet lost must match the books");
+    }
+
+    #[test]
+    fn availability_fields_render_after_the_shard_section() {
+        let line = report().to_json_line();
+        let shards_at = line.find("\"shards\":[").expect("shards key");
+        for key in [
+            "\"replaced\":",
+            "\"lost\":0,\"availability\":",
+            "\"pre_failure_p99_ms\":",
+            "\"post_failure_p99_ms\":",
+            "\"scale_events\":",
+        ] {
+            let at = line.rfind(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > shards_at, "{key} must render after the shard list");
+        }
     }
 }

@@ -188,6 +188,25 @@ impl Scenario {
         ]
     }
 
+    /// The diurnal ramp scaled to a fleet: four ramping sessions per
+    /// shard, the canonical autoscaling workload — a fleet sized for the
+    /// 160 % peak idles through the 30 % trough, so an elastic policy
+    /// should retire shards early and spawn them back as the ramp climbs.
+    pub fn diurnal_fleet(shards: usize) -> Self {
+        Self::diurnal().scaled_for_fleet(shards)
+    }
+
+    /// `b2` stretched for failure injection: the same five bursty
+    /// mixed-priority sessions per shard, but generated for 4 s so a
+    /// mid-run shard kill leaves enough post-failure traffic to observe
+    /// the re-placed sessions' tail recovering.
+    pub fn b2_failover(shards: usize) -> Self {
+        let mut scenario = Self::b2().scaled_for_fleet(shards);
+        scenario.duration_sec = 4.0;
+        scenario.name = format!("b2_failover_fleet{}", shards.max(1));
+        scenario
+    }
+
     /// Scales a base scenario to `shards` devices: the base session count
     /// per shard, with the fleet size recorded in the name. The queue
     /// capacity stays per-shard (each device fronts its own bounded
@@ -296,12 +315,10 @@ impl Scenario {
     }
 }
 
-/// Derives an independent per-session RNG seed (SplitMix64 finalizer).
+/// Derives an independent per-session RNG seed (the crate's shared
+/// SplitMix64 finalizer).
 fn session_seed(seed: u64, session: usize) -> u64 {
-    let mut z = seed ^ (session as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    crate::autoscale::mix(seed, session as u64)
 }
 
 /// Exponential inter-arrival sample at `rate` events/second, µs, ≥ 1.
@@ -410,5 +427,19 @@ mod tests {
         }
         // Degenerate shard counts clamp to one device.
         assert_eq!(Scenario::b2_fleet(0).sessions, 5);
+    }
+
+    #[test]
+    fn availability_scenarios_scale_and_stretch_their_bases() {
+        let diurnal = Scenario::diurnal_fleet(3);
+        assert_eq!(diurnal.sessions, 12);
+        assert_eq!(diurnal.name, "diurnal_ramp_fleet3");
+        assert_eq!(diurnal.arrival, Scenario::diurnal().arrival);
+        let failover = Scenario::b2_failover(2);
+        assert_eq!(failover.sessions, 10);
+        assert_eq!(failover.name, "b2_failover_fleet2");
+        assert_eq!(failover.duration_sec, 4.0);
+        assert_eq!(failover.priorities, Scenario::b2().priorities);
+        assert_eq!(Scenario::b2_failover(0).name, "b2_failover_fleet1");
     }
 }

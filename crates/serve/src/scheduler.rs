@@ -39,8 +39,11 @@ pub trait Scheduler {
 
 /// Forwarding impl so a borrowed scheduler can stand in wherever an owned
 /// one is expected (the fleet engine takes boxed per-shard schedulers;
-/// `simulate_with` boxes its caller's `&mut dyn Scheduler` through this).
-impl<'a> Scheduler for &'a mut (dyn Scheduler + 'a) {
+/// `simulate_with` and `simulate_fleet_with` box their callers' borrowed
+/// schedulers through this). The reference and trait-object lifetimes are
+/// independent so a short reborrow of a long-lived scheduler still
+/// forwards.
+impl<'r, 'o> Scheduler for &'r mut (dyn Scheduler + 'o) {
     fn name(&self) -> &'static str {
         (**self).name()
     }

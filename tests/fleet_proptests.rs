@@ -1,9 +1,15 @@
 //! Property-based tests of the fleet serving engine: bit-exact determinism
 //! for a fixed seed, request conservation across every shard, exact
 //! histogram merging, and percentile monotonicity — over randomized
-//! scenario parameters, shard counts, balancing policies and disciplines.
+//! scenario parameters, shard counts, balancing policies and disciplines —
+//! plus seeded failure-time fuzzing of the dynamic-fleet layer (fixed seed
+//! ⇒ bit-identical report, shard counts inside the policy bounds, and the
+//! post-failure tail still monotone).
 
-use fcad_serve::{simulate_fleet, FleetConfig, LoadBalancerKind};
+use fcad_serve::{
+    simulate_autoscaled, simulate_fleet, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind,
+    ScaleEventKind,
+};
 use proptest::prelude::*;
 
 mod common;
@@ -149,5 +155,72 @@ proptest! {
                 shard.latency.p99_ms
             ));
         }
+    }
+
+    /// Seeded failure-time fuzzing: an autoscaled run with seeded kills is
+    /// a pure function of its seed (bit-identical reports), the alive
+    /// shard count reconstructed from the lifecycle log never leaves the
+    /// policy's `[min_shards, max_shards]` band, conservation holds with
+    /// the `lost` column in the books, and the percentile ladder stays
+    /// monotone after the failure.
+    #[test]
+    fn seeded_failures_stay_deterministic_bounded_and_conserving(
+        seed in 0u64..10_000,
+        sessions in 2usize..8,
+        rate in 10usize..40,
+        capacity in 8usize..64,
+        shards in 1usize..4,
+        kills in 1usize..3,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        balancer in balancer_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival);
+        let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
+        let max_shards = shards + 2;
+        let policy = Autoscaler::reactive(shards, max_shards)
+            .with_scale_up_queue_depth(5)
+            .with_warmup_us(20_000)
+            .with_cooldown_us(60_000)
+            .with_idle_retire_us(250_000);
+        let plan = FailurePlan::seeded(seed ^ 0x5EED, kills, 1_000_000);
+        let a = simulate_autoscaled(&config, &scenario, kind, &policy, &plan);
+        let b = simulate_autoscaled(&config, &scenario, kind, &policy, &plan);
+        prop_assert_eq!(&a, &b, "fixed seed must give a bit-identical report");
+        prop_assert!(a.conserves_requests());
+        // Replay the lifecycle log: alive = initial + ups − (fails + retires),
+        // grouped by instant because a failure and its replacement spawn
+        // land at the same timestamp.
+        let mut alive = shards as i64;
+        let mut index = 0;
+        let events = &a.scale_events;
+        while index < events.len() {
+            let at_sec = events[index].at_sec;
+            while index < events.len() && events[index].at_sec == at_sec {
+                match events[index].kind {
+                    ScaleEventKind::Up => alive += 1,
+                    ScaleEventKind::Fail | ScaleEventKind::Retire => alive -= 1,
+                    ScaleEventKind::Warm | ScaleEventKind::Drain => {}
+                }
+                index += 1;
+            }
+            prop_assert!(
+                alive <= max_shards as i64,
+                "alive {} exceeded max_shards {} at {} s",
+                alive, max_shards, at_sec
+            );
+            prop_assert!(
+                alive >= shards as i64,
+                "alive {} dropped below min_shards {} at {} s",
+                alive, shards, at_sec
+            );
+        }
+        // The post-failure percentile ladder stays monotone (it is all
+        // zeros only if the kill outlived the traffic).
+        let post = &a.latency_post_failure;
+        prop_assert!(post.p99_ms >= post.p95_ms && post.p95_ms >= post.p50_ms);
+        prop_assert!(post.max_ms + 1e-9 >= post.p99_ms);
+        let pre = &a.latency_pre_failure;
+        prop_assert!(pre.p99_ms >= pre.p95_ms && pre.p95_ms >= pre.p50_ms);
     }
 }

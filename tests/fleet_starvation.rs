@@ -1,9 +1,14 @@
 //! Starvation and balancing regressions under the b2 burst scenario:
 //! affinity-first placement must keep every branch progressing with a
-//! bounded worst-case wait, and least-loaded placement must beat
-//! round-robin's tail whenever the fleet is not perfectly symmetric.
+//! bounded worst-case wait, least-loaded placement must beat round-robin's
+//! tail whenever the fleet is not perfectly symmetric, and — with a shard
+//! dying mid-burst — autoscaling with affinity spill must bound the worst
+//! session wait the static fleet cannot.
 
-use fcad_serve::{simulate_fleet, FleetConfig, LoadBalancerKind, Scenario, SchedulerKind};
+use fcad_serve::{
+    simulate_autoscaled, simulate_fleet, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind,
+    Scenario, SchedulerKind,
+};
 
 mod common;
 
@@ -122,4 +127,69 @@ fn least_loaded_beats_round_robin_p99_on_an_uneven_homogeneous_fleet() {
         least_loaded.latency.p99_ms,
         round_robin.latency.p99_ms
     );
+}
+
+#[test]
+fn autoscale_with_spill_bounds_the_max_wait_a_failed_static_fleet_cannot() {
+    // Ten bursty sessions on an affinity-spill two-shard fleet, shard 1
+    // killed mid-burst at 1.1 s. The static survivor must absorb the
+    // orphaned identities alone and its queue saturates; the reactive
+    // policy spawns replacements (25 ms weight-fill warm-up each) and the
+    // re-placed sessions drain. Thresholds pinned from the deterministic
+    // run: static max wait ≈1397 ms with availability ≈0.50, elastic max
+    // wait ≈940 ms with availability 1.0.
+    let scenario = Scenario::b2_failover(2);
+    let config = FleetConfig::uniform(model(), 2).with_balancer(LoadBalancerKind::AffinityFirst);
+    let plan = FailurePlan::scheduled(&[(1_100_000, 1)]);
+    let static_fleet = simulate_autoscaled(
+        &config,
+        &scenario,
+        SchedulerKind::BatchAggregating,
+        &Autoscaler::none(),
+        &plan,
+    );
+    let policy = Autoscaler::reactive(2, 5)
+        .with_scale_up_queue_depth(4)
+        .with_warmup_us(25_000)
+        .with_cooldown_us(80_000)
+        .with_idle_retire_us(0);
+    let elastic = simulate_autoscaled(
+        &config,
+        &scenario,
+        SchedulerKind::BatchAggregating,
+        &policy,
+        &plan,
+    );
+    assert!(static_fleet.conserves_requests());
+    assert!(elastic.conserves_requests());
+    // The static fleet's worst wait blows past the pinned ceiling the
+    // elastic fleet stays under.
+    assert!(
+        static_fleet.latency.max_ms > 1_200.0,
+        "static max wait {} ms unexpectedly low — retune the pin",
+        static_fleet.latency.max_ms
+    );
+    assert!(
+        elastic.latency.max_ms < 1_100.0,
+        "elastic max wait {} ms breached the pinned bound",
+        elastic.latency.max_ms
+    );
+    assert!(
+        elastic.latency.max_ms < static_fleet.latency.max_ms,
+        "elastic max {} !< static max {}",
+        elastic.latency.max_ms,
+        static_fleet.latency.max_ms
+    );
+    // Availability: the elastic fleet loses and drops nothing, the static
+    // one sheds close to half the burst.
+    assert_eq!(elastic.lost + elastic.dropped, 0);
+    assert!(elastic.availability > 0.999);
+    assert!(
+        static_fleet.availability < 0.7,
+        "static availability {} unexpectedly high — retune the pin",
+        static_fleet.availability
+    );
+    // Both runs re-placed the dead shard's orphans through the balancer.
+    assert!(static_fleet.replaced > 0);
+    assert!(elastic.replaced > 0);
 }

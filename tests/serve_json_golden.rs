@@ -1,11 +1,20 @@
-//! Golden snapshot of the `ServeReport` single-line JSON rendering — the
-//! format `reproduce --serve` and the serving examples emit. Any field
-//! rename, reorder, precision change or dropped section (including the
-//! fleet's per-shard stats) fails this test instead of silently drifting.
+//! Golden snapshots of the `ServeReport` single-line JSON rendering — the
+//! format `reproduce --serve`/`--fleet`/`--autoscale` and the serving
+//! examples emit. Any field rename, reorder, precision change or dropped
+//! section (including the fleet's per-shard stats and the availability
+//! tail) fails these tests instead of silently drifting.
+//!
+//! Format-growth contract: new fields are only ever *appended* — at the
+//! end of the top line and at the end of each branch/shard sub-object —
+//! so consumers indexing existing keys keep working. Two snapshots pin
+//! this: a fixed-fleet report (availability fields all idle) and an
+//! autoscaled run with a failure (scale events, lost/re-placed counts and
+//! the pre/post-failure tails populated).
 
 use fcad_serve::{
-    simulate_fleet, BranchServeStats, FleetConfig, LatencySummary, LoadBalancerKind, Scenario,
-    SchedulerKind, ServeReport, ServiceModel, ShardStats,
+    simulate_autoscaled, simulate_fleet, Autoscaler, BranchServeStats, FailurePlan, FleetConfig,
+    LatencySummary, LoadBalancerKind, ScaleEvent, ScaleEventKind, Scenario, SchedulerKind,
+    ServeReport, ServiceModel, ShardState, ShardStats,
 };
 
 fn latency() -> LatencySummary {
@@ -43,6 +52,7 @@ fn report() -> ServeReport {
                 issued: 50,
                 completed: 45,
                 dropped: 5,
+                lost: 0,
                 latency: latency(),
             },
             BranchServeStats {
@@ -51,6 +61,7 @@ fn report() -> ServeReport {
                 issued: 50,
                 completed: 45,
                 dropped: 5,
+                lost: 0,
                 latency: latency(),
             },
         ],
@@ -59,6 +70,7 @@ fn report() -> ServeReport {
                 issued: 60,
                 completed: 55,
                 dropped: 5,
+                state: ShardState::Active,
                 utilization: 1.0,
                 latency: latency(),
             },
@@ -66,8 +78,117 @@ fn report() -> ServeReport {
                 issued: 40,
                 completed: 35,
                 dropped: 5,
+                state: ShardState::Active,
                 utilization: 0.75,
                 latency: latency(),
+            },
+        ],
+        replaced: 0,
+        lost: 0,
+        availability: 0.9,
+        latency_pre_failure: LatencySummary::default(),
+        latency_post_failure: LatencySummary::default(),
+        scale_events: Vec::new(),
+    }
+}
+
+/// The same rendering with the dynamic-fleet sections live: shard 1 died
+/// mid-run (9 of its queued requests re-placed onto shard 0, 10 lost), a
+/// replacement shard spawned, warmed and was still warming — never
+/// admitted anything — when the traffic ended. Books balance: 86
+/// completed + 4 dropped + 10 lost = 100 issued, and the shard front
+/// doors (54 + 36 + 0) run exactly the 10 lost requests short.
+fn autoscaled_report() -> ServeReport {
+    ServeReport {
+        scenario: "b2_failover_fleet2".into(),
+        scheduler: "batch".into(),
+        balancer: "least_loaded".into(),
+        seed: 7,
+        sessions: 10,
+        issued: 100,
+        completed: 86,
+        dropped: 4,
+        drop_rate: 0.04,
+        makespan_sec: 2.5,
+        throughput_rps: 34.4,
+        utilization: 0.875,
+        imbalance: 0.25,
+        latency: latency(),
+        branches: vec![
+            BranchServeStats {
+                name: "geometry".into(),
+                priority: 1.0,
+                issued: 50,
+                completed: 43,
+                dropped: 3,
+                lost: 4,
+                latency: latency(),
+            },
+            BranchServeStats {
+                name: "warp".into(),
+                priority: 0.15,
+                issued: 50,
+                completed: 43,
+                dropped: 1,
+                lost: 6,
+                latency: latency(),
+            },
+        ],
+        shards: vec![
+            ShardStats {
+                issued: 54,
+                completed: 53,
+                dropped: 1,
+                state: ShardState::Active,
+                utilization: 1.0,
+                latency: latency(),
+            },
+            ShardStats {
+                issued: 36,
+                completed: 33,
+                dropped: 3,
+                state: ShardState::Failed,
+                utilization: 0.75,
+                latency: latency(),
+            },
+            ShardStats {
+                issued: 0,
+                completed: 0,
+                dropped: 0,
+                state: ShardState::Warming,
+                utilization: 0.0,
+                latency: LatencySummary::default(),
+            },
+        ],
+        replaced: 9,
+        lost: 10,
+        availability: 0.86,
+        latency_pre_failure: LatencySummary {
+            p50_ms: 10.0,
+            p95_ms: 30.0,
+            p99_ms: 48.0,
+            mean_ms: 14.5,
+            max_ms: 60.0,
+        },
+        latency_post_failure: latency(),
+        scale_events: vec![
+            ScaleEvent {
+                at_sec: 1.5,
+                kind: ScaleEventKind::Fail,
+                shard: 1,
+                active_after: 1,
+            },
+            ScaleEvent {
+                at_sec: 1.5,
+                kind: ScaleEventKind::Up,
+                shard: 2,
+                active_after: 1,
+            },
+            ScaleEvent {
+                at_sec: 1.525,
+                kind: ScaleEventKind::Warm,
+                shard: 2,
+                active_after: 2,
             },
         ],
     }
@@ -81,14 +202,47 @@ const GOLDEN: &str = concat!(
     "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
     "\"max_ms\":96.5000,\"branches\":[",
     "{\"name\":\"geometry\",\"priority\":1.0000,\"issued\":50,\"completed\":45,",
-    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":0},",
     "{\"name\":\"warp\",\"priority\":0.1500,\"issued\":50,\"completed\":45,",
-    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000}],",
+    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":0}],",
     "\"shards\":[",
     "{\"issued\":60,\"completed\":55,\"dropped\":5,\"utilization\":1.0000,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\"},",
     "{\"issued\":40,\"completed\":35,\"dropped\":5,\"utilization\":0.7500,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000}]}",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\"}],",
+    "\"replaced\":0,\"lost\":0,\"availability\":0.9000,",
+    "\"pre_failure_p99_ms\":0.0000,\"post_failure_p99_ms\":0.0000,",
+    "\"scale_events\":[]}",
+);
+
+const GOLDEN_AUTOSCALED: &str = concat!(
+    "{\"scenario\":\"b2_failover_fleet2\",\"scheduler\":\"batch\",",
+    "\"balancer\":\"least_loaded\",\"seed\":7,\"sessions\":10,\"issued\":100,",
+    "\"completed\":86,\"dropped\":4,\"drop_rate\":0.0400,\"makespan_sec\":2.5000,",
+    "\"throughput_rps\":34.4000,\"utilization\":0.8750,\"imbalance\":0.2500,",
+    "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
+    "\"max_ms\":96.5000,\"branches\":[",
+    "{\"name\":\"geometry\",\"priority\":1.0000,\"issued\":50,\"completed\":43,",
+    "\"dropped\":3,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":4},",
+    "{\"name\":\"warp\",\"priority\":0.1500,\"issued\":50,\"completed\":43,",
+    "\"dropped\":1,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":6}],",
+    "\"shards\":[",
+    "{\"issued\":54,\"completed\":53,\"dropped\":1,\"utilization\":1.0000,",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\"},",
+    "{\"issued\":36,\"completed\":33,\"dropped\":3,\"utilization\":0.7500,",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"failed\"},",
+    "{\"issued\":0,\"completed\":0,\"dropped\":0,\"utilization\":0.0000,",
+    "\"p50_ms\":0.0000,\"p99_ms\":0.0000,\"max_ms\":0.0000,\"state\":\"warming\"}],",
+    "\"replaced\":9,\"lost\":10,\"availability\":0.8600,",
+    "\"pre_failure_p99_ms\":48.0000,\"post_failure_p99_ms\":64.0000,",
+    "\"scale_events\":[",
+    "{\"at_sec\":1.5000,\"kind\":\"fail\",\"shard\":1,\"active_after\":1},",
+    "{\"at_sec\":1.5000,\"kind\":\"up\",\"shard\":2,\"active_after\":1},",
+    "{\"at_sec\":1.5250,\"kind\":\"warm\",\"shard\":2,\"active_after\":2}]}",
 );
 
 #[test]
@@ -97,51 +251,59 @@ fn serve_report_json_line_matches_the_golden_snapshot() {
 }
 
 #[test]
-fn golden_snapshot_is_one_structurally_balanced_line() {
-    assert!(!GOLDEN.contains('\n'));
-    assert_eq!(GOLDEN.matches('{').count(), GOLDEN.matches('}').count());
-    assert_eq!(GOLDEN.matches('[').count(), GOLDEN.matches(']').count());
+fn autoscaled_report_json_line_matches_its_golden_snapshot() {
+    let report = autoscaled_report();
+    assert!(
+        report.conserves_requests(),
+        "the autoscaled fixture must keep the books straight"
+    );
+    assert_eq!(report.to_json_line(), GOLDEN_AUTOSCALED);
 }
 
 #[test]
-fn simulated_fleet_reports_render_with_the_golden_key_order() {
-    // A real simulation must emit the same keys in the same order as the
-    // snapshot (values differ): walk the golden keys and check each
-    // appears after the previous one.
-    let model = ServiceModel {
-        branches: vec![fcad_serve::BranchService {
-            name: "texture".to_owned(),
-            frame_time_us: 4_000,
-            fill_time_us: 1_000,
-            max_batch: 2,
-            priority: 1.0,
-        }],
+fn golden_snapshots_are_single_structurally_balanced_lines() {
+    for golden in [GOLDEN, GOLDEN_AUTOSCALED] {
+        assert!(!golden.contains('\n'));
+        assert_eq!(golden.matches('{').count(), golden.matches('}').count());
+        assert_eq!(golden.matches('[').count(), golden.matches(']').count());
+    }
+}
+
+#[test]
+fn the_autoscaled_golden_only_appends_to_the_fixed_key_order() {
+    // Every key of the fixed-fleet snapshot appears in the autoscaled one
+    // in the same order: the availability sections grow the line at the
+    // end (and at the end of sub-objects), never in the middle.
+    // A quoted string is a key exactly when a ':' follows its closing
+    // quote (the goldens contain no escaped quotes).
+    let keys = |golden: &str| -> Vec<String> {
+        let mut keys = Vec::new();
+        let mut rest = golden;
+        while let Some(open) = rest.find('"') {
+            let body = &rest[open + 1..];
+            let close = body.find('"').expect("quotes come in pairs");
+            if body[close + 1..].starts_with(':') {
+                keys.push(body[..close].to_owned());
+            }
+            rest = &body[close + 1..];
+        }
+        keys
     };
-    let config = FleetConfig::uniform(model, 2).with_balancer(LoadBalancerKind::LeastLoaded);
-    let line =
-        simulate_fleet(&config, &Scenario::a1(), SchedulerKind::BatchAggregating).to_json_line();
-    let keys = [
-        "\"scenario\":",
-        "\"scheduler\":",
-        "\"balancer\":",
-        "\"seed\":",
-        "\"sessions\":",
-        "\"issued\":",
-        "\"completed\":",
-        "\"dropped\":",
-        "\"drop_rate\":",
-        "\"makespan_sec\":",
-        "\"throughput_rps\":",
-        "\"utilization\":",
-        "\"imbalance\":",
-        "\"p50_ms\":",
-        "\"p95_ms\":",
-        "\"p99_ms\":",
-        "\"mean_ms\":",
-        "\"max_ms\":",
-        "\"branches\":[",
-        "\"shards\":[",
-    ];
+    let autoscaled = keys(GOLDEN_AUTOSCALED);
+    let mut cursor = 0;
+    for key in keys(GOLDEN) {
+        let at = autoscaled[cursor..]
+            .iter()
+            .position(|k| *k == key)
+            .unwrap_or_else(|| panic!("key {key} missing or reordered in the autoscaled line"));
+        cursor += at + 1;
+    }
+}
+
+/// A real simulation must emit the same keys in the same order as the
+/// snapshots (values differ): walk the golden keys and check each appears
+/// after the previous one.
+fn assert_key_order(line: &str, keys: &[&str]) {
     let mut cursor = 0;
     for key in keys {
         let at = line[cursor..]
@@ -149,4 +311,80 @@ fn simulated_fleet_reports_render_with_the_golden_key_order() {
             .unwrap_or_else(|| panic!("missing or out-of-order key {key} in {line}"));
         cursor += at + key.len();
     }
+}
+
+const TOP_LEVEL_KEYS: [&str; 26] = [
+    "\"scenario\":",
+    "\"scheduler\":",
+    "\"balancer\":",
+    "\"seed\":",
+    "\"sessions\":",
+    "\"issued\":",
+    "\"completed\":",
+    "\"dropped\":",
+    "\"drop_rate\":",
+    "\"makespan_sec\":",
+    "\"throughput_rps\":",
+    "\"utilization\":",
+    "\"imbalance\":",
+    "\"p50_ms\":",
+    "\"p95_ms\":",
+    "\"p99_ms\":",
+    "\"mean_ms\":",
+    "\"max_ms\":",
+    "\"branches\":[",
+    "\"lost\":",
+    "\"shards\":[",
+    "\"state\":",
+    "\"replaced\":",
+    "\"availability\":",
+    "\"pre_failure_p99_ms\":",
+    "\"post_failure_p99_ms\":",
+];
+
+fn one_branch_model() -> ServiceModel {
+    ServiceModel {
+        branches: vec![fcad_serve::BranchService {
+            name: "texture".to_owned(),
+            frame_time_us: 4_000,
+            fill_time_us: 1_000,
+            max_batch: 2,
+            priority: 1.0,
+        }],
+    }
+}
+
+#[test]
+fn simulated_fleet_reports_render_with_the_golden_key_order() {
+    let config =
+        FleetConfig::uniform(one_branch_model(), 2).with_balancer(LoadBalancerKind::LeastLoaded);
+    let line =
+        simulate_fleet(&config, &Scenario::a1(), SchedulerKind::BatchAggregating).to_json_line();
+    assert_key_order(&line, &TOP_LEVEL_KEYS);
+    assert_key_order(&line, &["\"scale_events\":["]);
+}
+
+#[test]
+fn simulated_autoscaled_reports_render_with_the_golden_key_order() {
+    let config =
+        FleetConfig::uniform(one_branch_model(), 2).with_balancer(LoadBalancerKind::LeastLoaded);
+    let report = simulate_autoscaled(
+        &config,
+        &Scenario::b2_failover(2),
+        SchedulerKind::BatchAggregating,
+        &Autoscaler::reactive(2, 4),
+        &FailurePlan::scheduled(&[(1_500_000, 1)]),
+    );
+    let line = report.to_json_line();
+    assert_key_order(&line, &TOP_LEVEL_KEYS);
+    assert_key_order(
+        &line,
+        &[
+            "\"scale_events\":[",
+            "\"at_sec\":",
+            "\"kind\":\"fail\"",
+            "\"shard\":",
+            "\"active_after\":",
+        ],
+    );
 }
