@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     let fleet_chaos = Scenario::b2_fleet(4);
-    for balancer in LoadBalancerKind::all() {
+    for &balancer in LoadBalancerKind::all() {
         let config = FleetConfig::uniform(model.clone(), 4).with_balancer(balancer);
         c.bench_function(
             &format!("fleet/{}/4shards/{}", fleet_chaos.name, balancer.name()),

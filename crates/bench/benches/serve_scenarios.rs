@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         });
     }
     let chaos = Scenario::b2();
-    for kind in SchedulerKind::all() {
+    for &kind in SchedulerKind::all() {
         let name = kind.build().name();
         c.bench_function(&format!("serve/{}/{}", chaos.name, name), |b| {
             b.iter(|| simulate(&model, &chaos, kind))

@@ -64,6 +64,7 @@ pub use validate::{BranchValidation, ValidationReport};
 // sub-crate explicitly.
 pub use fcad_dse::{Customization, DseParams, DseResult};
 pub use fcad_serve::{
-    Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind, ScaleEvent, ScaleEventKind, Scenario,
-    SchedulerKind, ServeReport, ServiceModel, ShardState, ShardStats,
+    AdmissionKind, Autoscaler, ClassMix, ClassServeStats, FailurePlan, FleetConfig,
+    LoadBalancerKind, QosClass, ScaleEvent, ScaleEventKind, Scenario, SchedulerKind, ServeReport,
+    ServiceModel, ShardState, ShardStats,
 };

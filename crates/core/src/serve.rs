@@ -10,8 +10,9 @@
 use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
 use fcad_serve::{
-    simulate, simulate_autoscaled, simulate_fleet, Autoscaler, FailurePlan, FleetConfig,
-    LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel,
+    simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
+    simulate_qos, AdmissionKind, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind, Scenario,
+    SchedulerKind, ServeReport, ServiceModel,
 };
 
 impl FcadResult {
@@ -44,6 +45,21 @@ impl FcadResult {
     /// discipline.
     pub fn serve_with(&self, scenario: &Scenario, kind: SchedulerKind) -> ServeReport {
         simulate(&self.service_model(), scenario, kind)
+    }
+
+    /// Simulates serving `scenario` under an explicit scheduling
+    /// discipline *and* admission policy: the QoS entry point. Sessions
+    /// draw their class from the scenario's class mix; the report scores
+    /// each class against its budget (`slo_attainment`) and counts what
+    /// the admission controller shed. [`AdmissionKind::AdmitAll`]
+    /// reproduces [`FcadResult::serve_with`] bit for bit.
+    pub fn serve_qos(
+        &self,
+        scenario: &Scenario,
+        kind: SchedulerKind,
+        admission: AdmissionKind,
+    ) -> ServeReport {
+        simulate_qos(&self.service_model(), scenario, kind, admission)
     }
 
     /// [`FcadResult::serve_with`] on the cycle-level-calibrated service
@@ -86,6 +102,26 @@ impl FcadResult {
         )
     }
 
+    /// [`FcadResult::serve_fleet`] under an explicit admission policy:
+    /// the controller is consulted at every shard front door.
+    /// [`AdmissionKind::AdmitAll`] reproduces [`FcadResult::serve_fleet`]
+    /// bit for bit.
+    pub fn serve_qos_fleet(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+        admission: AdmissionKind,
+    ) -> ServeReport {
+        simulate_fleet_qos(
+            &self.fleet_config(shards).with_balancer(balancer),
+            scenario,
+            kind,
+            admission,
+        )
+    }
+
     /// Simulates serving `scenario` on a *dynamic* fleet that starts as
     /// `shards` copies of the optimized design: `policy` scales the fleet
     /// up and down at runtime (spawned shards pay a warm-up weight fill
@@ -108,6 +144,32 @@ impl FcadResult {
             kind,
             policy,
             failures,
+        )
+    }
+
+    /// [`FcadResult::serve_autoscaled`] under an explicit admission
+    /// policy — the full stack: QoS classes, admission shedding,
+    /// autoscaling and failure injection in one run.
+    /// [`AdmissionKind::AdmitAll`] reproduces
+    /// [`FcadResult::serve_autoscaled`] bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_qos_autoscaled(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+        policy: &Autoscaler,
+        failures: &FailurePlan,
+        admission: AdmissionKind,
+    ) -> ServeReport {
+        simulate_autoscaled_qos(
+            &self.fleet_config(shards).with_balancer(balancer),
+            scenario,
+            kind,
+            policy,
+            failures,
+            admission,
         )
     }
 
@@ -259,6 +321,57 @@ mod tests {
         );
         assert!(failed.replaced + failed.lost > 0 || failed.shards[1].issued == 0);
         assert!(failed.availability > 0.5);
+    }
+
+    #[test]
+    fn qos_entry_points_reduce_to_the_legacy_paths_under_admit_all() {
+        let result = optimized();
+        let scenario = Scenario::b2();
+        let legacy = result.serve_with(&scenario, SchedulerKind::PriorityByBranch);
+        let qos = result.serve_qos(
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::AdmitAll,
+        );
+        assert_eq!(legacy, qos, "admit-all must be the legacy single device");
+        let fleet = result.serve_fleet(
+            &scenario,
+            2,
+            LoadBalancerKind::LeastLoaded,
+            SchedulerKind::BatchAggregating,
+        );
+        let qos_fleet = result.serve_qos_fleet(
+            &scenario,
+            2,
+            LoadBalancerKind::LeastLoaded,
+            SchedulerKind::BatchAggregating,
+            AdmissionKind::AdmitAll,
+        );
+        assert_eq!(fleet, qos_fleet, "admit-all must be the legacy fleet");
+    }
+
+    #[test]
+    fn qos_serving_sheds_and_scores_the_classes() {
+        let result = optimized();
+        let scenario = Scenario::b2_qos();
+        let report = result.serve_qos(
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::BudgetAware,
+        );
+        assert!(report.conserves_requests());
+        assert!(report.shed > 0, "the QoS burst must trigger shedding");
+        assert!(report.slo_attainment > 0.0 && report.slo_attainment <= 1.0);
+        let autoscaled = result.serve_qos_autoscaled(
+            &scenario,
+            1,
+            LoadBalancerKind::RoundRobin,
+            SchedulerKind::PriorityByBranch,
+            &Autoscaler::none(),
+            &FailurePlan::none(),
+            AdmissionKind::BudgetAware,
+        );
+        assert_eq!(report, autoscaled, "no-op policy must not disturb QoS");
     }
 
     #[test]

@@ -125,6 +125,12 @@ pub struct ScaleEvent {
 /// retirement through scheduled idle checks), so an autoscaled run is as
 /// reproducible as a fixed-fleet one. [`Autoscaler::none`] disables every
 /// trigger and reproduces the fixed fleet bit for bit.
+///
+/// Composition with admission control: shed requests never enter a queue,
+/// so a shedding [`AdmissionController`](crate::AdmissionController)
+/// damps the queue-depth trigger — an admission policy that protects the
+/// SLO by rejecting load and a scaling policy that protects it by buying
+/// capacity are deliberately independent knobs of the same run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Autoscaler {
     /// Fewest alive shards the policy tolerates: scale-down never drains
@@ -336,9 +342,10 @@ impl FailurePlan {
 
 /// SplitMix64-style finalizer over `(seed, stream)`: the crate's one
 /// derivation of independent deterministic streams from a single seed —
-/// the scenario generators use it for per-session RNG seeds, the failure
-/// injector for kill times and victim picks. A plain `seed ^ stream ×
-/// GOLDEN` would collide with the stub RNG's own per-draw increment.
+/// the scenario generators use it for per-session RNG seeds and QoS
+/// class draws, the failure injector for kill times and victim picks. A
+/// plain `seed ^ stream × GOLDEN` would collide with the stub RNG's own
+/// per-draw increment.
 pub(crate) fn mix(seed: u64, stream: u64) -> u64 {
     let mut z = seed ^ (stream + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

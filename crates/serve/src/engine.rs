@@ -20,10 +20,11 @@
 //! arrival at `t`), arrivals win ties against dispatches, and dispatches
 //! tie-break on the lowest shard index — so the whole simulation is a
 //! deterministic function of its inputs. Admission happens in arrival
-//! order against the chosen shard's live queue occupancy (the balancer
-//! picks among the *placeable* shards, the shard's bounded queue takes the
-//! drop), which is exactly what a heap-based simulator would produce,
-//! without any nondeterminism.
+//! order against the chosen shard's live state: the balancer picks among
+//! the *placeable* shards, the admission controller accepts or sheds the
+//! request at that shard's front door, and the shard's bounded queue takes
+//! the drop — exactly what a heap-based simulator would produce, without
+//! any nondeterminism.
 //!
 //! The fixed fleet is the no-op special case: [`simulate_fleet`] runs the
 //! same loop under [`Autoscaler::none`] and [`FailurePlan::none`], where no
@@ -35,13 +36,15 @@
 
 use std::collections::VecDeque;
 
+use crate::admission::{AdmissionController, AdmissionKind, AdmissionView};
 use crate::autoscale::{
     Autoscaler, FailurePlan, KillTarget, ScaleEvent, ScaleEventKind, ShardState,
 };
 use crate::fleet::{Balancer, FleetConfig, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
-use crate::report::{BranchServeStats, LatencySummary, ServeReport, ShardStats};
+use crate::qos::{QosClass, CLASS_COUNT};
+use crate::report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport, ShardStats};
 use crate::scenario::Scenario;
 use crate::scheduler::{Scheduler, SchedulerKind};
 
@@ -58,6 +61,23 @@ const P99_MIN_SAMPLES: usize = 16;
 /// produce identical reports. This is exactly the one-shard fleet.
 pub fn simulate(model: &ServiceModel, scenario: &Scenario, kind: SchedulerKind) -> ServeReport {
     simulate_fleet(&FleetConfig::uniform(model.clone(), 1), scenario, kind)
+}
+
+/// [`simulate`] under an explicit admission policy — the single-device QoS
+/// entry point. [`AdmissionKind::AdmitAll`] reproduces [`simulate`] bit
+/// for bit.
+pub fn simulate_qos(
+    model: &ServiceModel,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+) -> ServeReport {
+    simulate_fleet_qos(
+        &FleetConfig::uniform(model.clone(), 1),
+        scenario,
+        kind,
+        admission,
+    )
 }
 
 /// [`simulate`] with a caller-provided scheduler (for custom disciplines or
@@ -85,8 +105,22 @@ pub fn simulate_fleet(
     scenario: &Scenario,
     kind: SchedulerKind,
 ) -> ServeReport {
+    simulate_fleet_qos(config, scenario, kind, AdmissionKind::AdmitAll)
+}
+
+/// [`simulate_fleet`] under an explicit admission policy: the controller
+/// is consulted once per arrival (after the balancer picks the shard,
+/// before the capacity check) and rejected requests are counted `shed`.
+/// [`AdmissionKind::AdmitAll`] reproduces [`simulate_fleet`] bit for bit.
+pub fn simulate_fleet_qos(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+) -> ServeReport {
     let schedulers: Vec<Box<dyn Scheduler>> =
         (0..config.shard_count()).map(|_| kind.build()).collect();
+    let mut controller = admission.build();
     run(
         config,
         scenario,
@@ -94,6 +128,7 @@ pub fn simulate_fleet(
         None,
         &Autoscaler::none(),
         &FailurePlan::none(),
+        controller.as_mut(),
     )
 }
 
@@ -109,6 +144,7 @@ pub fn simulate_fleet_with<'a>(
         .iter_mut()
         .map(|s| Box::new(&mut **s) as Box<dyn Scheduler + '_>)
         .collect();
+    let mut controller = AdmissionKind::AdmitAll.build();
     run(
         config,
         scenario,
@@ -116,6 +152,7 @@ pub fn simulate_fleet_with<'a>(
         None,
         &Autoscaler::none(),
         &FailurePlan::none(),
+        controller.as_mut(),
     )
 }
 
@@ -135,9 +172,42 @@ pub fn simulate_autoscaled(
     policy: &Autoscaler,
     failures: &FailurePlan,
 ) -> ServeReport {
+    simulate_autoscaled_qos(
+        config,
+        scenario,
+        kind,
+        policy,
+        failures,
+        AdmissionKind::AdmitAll,
+    )
+}
+
+/// [`simulate_autoscaled`] under an explicit admission policy — the full
+/// stack: QoS classes, admission shedding, autoscaling and failure
+/// injection in one run. [`AdmissionKind::AdmitAll`] reproduces
+/// [`simulate_autoscaled`] bit for bit. Shed requests never enter a
+/// queue, so a shedding policy also damps the autoscaler's queue-depth
+/// trigger — admission and scaling are deliberately composable knobs.
+pub fn simulate_autoscaled_qos(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+    admission: AdmissionKind,
+) -> ServeReport {
     let schedulers: Vec<Box<dyn Scheduler>> =
         (0..config.shard_count()).map(|_| kind.build()).collect();
-    run(config, scenario, schedulers, Some(kind), policy, failures)
+    let mut controller = admission.build();
+    run(
+        config,
+        scenario,
+        schedulers,
+        Some(kind),
+        policy,
+        failures,
+        controller.as_mut(),
+    )
 }
 
 /// One pending lifecycle event. Events order by `(at_us, rank, seq)`:
@@ -183,9 +253,17 @@ struct Shard<'a> {
     pending_since_us: u64,
     busy_us: u64,
     backlog_us: u64,
+    /// The queued backlog split by QoS class (each request at its
+    /// unbatched single-request cost) — the admission controller's view
+    /// of how much work that can outrank a new arrival it waits behind.
+    class_backlog_us: [u64; CLASS_COUNT],
+    /// Highest branch priority of this shard's model (fixed for the
+    /// run), feeding the admission projection's worst-case score.
+    max_priority: f64,
     issued: u64,
     completed: u64,
     dropped: u64,
+    shed: u64,
     histogram: LatencyHistogram,
     /// Whether an idle check for this shard is already queued — one
     /// pending check per shard keeps the lifecycle event list from
@@ -195,6 +273,11 @@ struct Shard<'a> {
 
 impl<'a> Shard<'a> {
     fn new(model: ServiceModel, scheduler: Box<dyn Scheduler + 'a>, phase: ShardState) -> Self {
+        let max_priority = model
+            .branches
+            .iter()
+            .map(|b| b.priority)
+            .fold(0.0, f64::max);
         Self {
             model,
             scheduler,
@@ -203,11 +286,29 @@ impl<'a> Shard<'a> {
             pending_since_us: 0,
             busy_us: 0,
             backlog_us: 0,
+            class_backlog_us: [0; CLASS_COUNT],
+            max_priority,
             issued: 0,
             completed: 0,
             dropped: 0,
+            shed: 0,
             histogram: LatencyHistogram::new(),
             idle_check_pending: false,
+        }
+    }
+
+    /// The admission controller's view of this shard for one arriving
+    /// request on `branch`, whose single-request service estimate is
+    /// `service_us`.
+    fn admission_view(&self, capacity: usize, service_us: u64, branch: usize) -> AdmissionView {
+        AdmissionView {
+            queued: self.scheduler.queued(),
+            capacity,
+            free_at_us: self.free_at_us,
+            class_backlog_us: self.class_backlog_us,
+            service_us,
+            priority: self.model.priority(branch),
+            max_priority: self.max_priority,
         }
     }
 
@@ -249,6 +350,7 @@ fn run<'a>(
     spawn: Option<SchedulerKind>,
     policy: &Autoscaler,
     failures: &FailurePlan,
+    admission: &mut dyn AdmissionController,
 ) -> ServeReport {
     // Hand-built or deserialized configs can reach this point without ever
     // passing through `uniform`/`heterogeneous`; re-check their invariants.
@@ -287,10 +389,23 @@ fn run<'a>(
     let mut completed = vec![0u64; branch_count];
     let mut dropped = vec![0u64; branch_count];
     let mut lost = vec![0u64; branch_count];
+    let mut shed = vec![0u64; branch_count];
     let mut branch_histograms: Vec<LatencyHistogram> =
         (0..branch_count).map(|_| LatencyHistogram::new()).collect();
+    // Per-QoS-class accounting, indexed by `QosClass::index`, merged
+    // across branches and shards; `within_budget` counts completions
+    // inside their class budget (the SLO-attainment numerator).
+    let mut class_issued = [0u64; CLASS_COUNT];
+    let mut class_completed = [0u64; CLASS_COUNT];
+    let mut class_dropped = [0u64; CLASS_COUNT];
+    let mut class_lost = [0u64; CLASS_COUNT];
+    let mut class_shed = [0u64; CLASS_COUNT];
+    let mut within_budget = [0u64; CLASS_COUNT];
+    let mut class_histograms: [LatencyHistogram; CLASS_COUNT] =
+        std::array::from_fn(|_| LatencyHistogram::new());
     for request in &arrivals {
         issued[request.branch] += 1;
+        class_issued[request.class.index()] += 1;
     }
 
     // Lifecycle bookkeeping. The pre/post-failure split point is the first
@@ -420,6 +535,7 @@ fn run<'a>(
                             orphans.extend(batch);
                         }
                         dead.backlog_us = 0;
+                        dead.class_backlog_us = [0; CLASS_COUNT];
                         dead.pending_since_us = 0;
                         dead.issued -= orphans.len() as u64;
                     }
@@ -456,11 +572,13 @@ fn run<'a>(
                         collect_placeable(&mut loads, &shards);
                         if loads.is_empty() {
                             lost[request.branch] += 1;
+                            class_lost[request.class.index()] += 1;
                             continue;
                         }
                         let dst = balancer.place(&request, &loads, now_us, capacity);
                         if shards[dst].scheduler.queued() >= capacity {
                             lost[request.branch] += 1;
+                            class_lost[request.class.index()] += 1;
                             continue;
                         }
                         let target = &mut shards[dst];
@@ -478,7 +596,9 @@ fn run<'a>(
                             target.free_at_us = target.free_at_us.max(now_us) + fill;
                             target.busy_us += fill;
                         }
-                        target.backlog_us += target.model.batch_service_us(request.branch, 1);
+                        let single_us = target.model.batch_service_us(request.branch, 1);
+                        target.backlog_us += single_us;
+                        target.class_backlog_us[request.class.index()] += single_us;
                         target.scheduler.enqueue(request, now_us);
                         balancer.note_admitted(request.session, dst);
                         target.issued += 1;
@@ -558,28 +678,38 @@ fn run<'a>(
         } else if arrival_at <= dispatch_at {
             // --- Admission ---
             // Route one arrival at its issue instant, against the live
-            // placeable shards, then admit or drop on the chosen shard's
-            // queue. With no placeable shard left (every survivor dead or
-            // draining), the request is lost outright.
+            // placeable shards; the admission controller then accepts it
+            // onto the chosen shard's queue, sheds it, or the bounded
+            // queue drops it. With no placeable shard left (every
+            // survivor dead or draining), the request is lost outright.
             let request = due_arrival.expect("arrival_at is finite");
             next_arrival += 1;
             let now_us = request.issued_at_us;
             collect_placeable(&mut loads, &shards);
             if loads.is_empty() {
                 lost[request.branch] += 1;
+                class_lost[request.class.index()] += 1;
                 continue;
             }
             let shard = balancer.place(&request, &loads, now_us, capacity);
             let target = &mut shards[shard];
             target.issued += 1;
-            if target.scheduler.queued() >= capacity {
+            let single_us = target.model.batch_service_us(request.branch, 1);
+            let view = target.admission_view(capacity, single_us, request.branch);
+            if !admission.admit(&request, &view, now_us) {
+                shed[request.branch] += 1;
+                class_shed[request.class.index()] += 1;
+                target.shed += 1;
+            } else if target.scheduler.queued() >= capacity {
                 dropped[request.branch] += 1;
+                class_dropped[request.class.index()] += 1;
                 target.dropped += 1;
             } else {
                 if target.scheduler.queued() == 0 {
                     target.pending_since_us = now_us;
                 }
-                target.backlog_us += target.model.batch_service_us(request.branch, 1);
+                target.backlog_us += single_us;
+                target.class_backlog_us[request.class.index()] += single_us;
                 target.scheduler.enqueue(request, now_us);
                 balancer.note_admitted(request.session, shard);
             }
@@ -630,11 +760,18 @@ fn run<'a>(
                 let latency_us = request.latency_us(done_us);
                 branch_histograms[request.branch].record(latency_us);
                 completed[request.branch] += 1;
+                let class = request.class.index();
+                class_histograms[class].record(latency_us);
+                class_completed[class] += 1;
+                if request.meets_slo(done_us) {
+                    within_budget[class] += 1;
+                }
                 let s = &mut shards[shard];
                 s.histogram.record(latency_us);
                 s.completed += 1;
                 let single_us = s.model.batch_service_us(request.branch, 1);
                 s.backlog_us = s.backlog_us.saturating_sub(single_us);
+                s.class_backlog_us[class] = s.class_backlog_us[class].saturating_sub(single_us);
                 if let Some(split) = split_us {
                     if done_us < split {
                         pre_failure.record(latency_us);
@@ -706,6 +843,8 @@ fn run<'a>(
     let total_completed: u64 = completed.iter().sum();
     let total_dropped: u64 = dropped.iter().sum();
     let total_lost: u64 = lost.iter().sum();
+    let total_shed: u64 = shed.iter().sum();
+    let total_within: u64 = within_budget.iter().sum();
     let total_busy_us: u64 = shards.iter().map(|s| s.busy_us).sum();
     let makespan_us = shards.iter().map(|s| s.free_at_us).max().unwrap_or(0);
     let makespan_sec = makespan_us as f64 / 1e6;
@@ -727,7 +866,26 @@ fn run<'a>(
             completed: completed[index],
             dropped: dropped[index],
             lost: lost[index],
+            shed: shed[index],
             latency: LatencySummary::of(&branch_histograms[index]),
+        })
+        .collect();
+    let classes: Vec<ClassServeStats> = QosClass::all()
+        .iter()
+        .map(|class| {
+            let index = class.index();
+            ClassServeStats {
+                class: *class,
+                budget_ms: class.budget_ms(),
+                weight: class.weight(),
+                issued: class_issued[index],
+                completed: class_completed[index],
+                dropped: class_dropped[index],
+                lost: class_lost[index],
+                shed: class_shed[index],
+                slo_attainment: attainment(within_budget[index], class_completed[index]),
+                latency: LatencySummary::of(&class_histograms[index]),
+            }
         })
         .collect();
     let shard_stats: Vec<ShardStats> = shards
@@ -736,6 +894,7 @@ fn run<'a>(
             issued: s.issued,
             completed: s.completed,
             dropped: s.dropped,
+            shed: s.shed,
             state: s.phase,
             utilization: if makespan_us > 0 {
                 s.busy_us as f64 / makespan_us as f64
@@ -805,6 +964,20 @@ fn run<'a>(
         latency_pre_failure: LatencySummary::of(&pre_failure),
         latency_post_failure: LatencySummary::of(&post_failure),
         scale_events,
+        shed: total_shed,
+        admission: admission.name().to_owned(),
+        slo_attainment: attainment(total_within, total_completed),
+        classes,
+    }
+}
+
+/// SLO attainment: completions within budget over completions, 1.0 when
+/// nothing completed (vacuously met).
+fn attainment(within: u64, completed: u64) -> f64 {
+    if completed == 0 {
+        1.0
+    } else {
+        within as f64 / completed as f64
     }
 }
 
@@ -890,7 +1063,7 @@ mod tests {
     fn every_scheduler_conserves_requests_on_the_whole_suite() {
         let model = test_model();
         for scenario in Scenario::suite() {
-            for kind in SchedulerKind::all() {
+            for &kind in SchedulerKind::all() {
                 let report = simulate(&model, &scenario, kind);
                 assert!(
                     report.conserves_requests(),
@@ -970,7 +1143,7 @@ mod tests {
     fn fleet_reports_conserve_and_split_work_across_shards() {
         let model = test_model();
         let scenario = Scenario::b2();
-        for balancer in LoadBalancerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
             let config = FleetConfig::uniform(model.clone(), 3).with_balancer(balancer);
             let report = simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating);
             assert!(report.conserves_requests(), "{}", balancer.name());
@@ -1103,6 +1276,100 @@ mod tests {
         assert_eq!(baseline.latency, with_noop_kill.latency);
         assert!(with_noop_kill.scale_events.is_empty());
         assert_eq!(with_noop_kill.lost, 0);
+    }
+
+    #[test]
+    fn admit_all_is_the_legacy_engine_bit_for_bit() {
+        let model = test_model();
+        for scenario in [Scenario::b2(), Scenario::b2_qos()] {
+            for &kind in SchedulerKind::all() {
+                let legacy = simulate(&model, &scenario, kind);
+                let qos = simulate_qos(&model, &scenario, kind, AdmissionKind::AdmitAll);
+                assert_eq!(legacy, qos, "{} / {:?}", scenario.name, kind);
+                assert_eq!(legacy.shed, 0);
+                assert_eq!(legacy.admission, "admit_all");
+            }
+        }
+    }
+
+    #[test]
+    fn classless_runs_put_everything_in_the_standard_row() {
+        let model = test_model();
+        let report = simulate(&model, &Scenario::b2(), SchedulerKind::PriorityByBranch);
+        assert!(report.conserves_requests());
+        let standard = report.class(QosClass::Standard).expect("standard row");
+        assert_eq!(standard.issued, report.issued);
+        assert_eq!(standard.completed, report.completed);
+        assert_eq!(standard.latency, report.latency);
+        for class in [QosClass::Interactive, QosClass::BestEffort] {
+            let row = report.class(class).expect("class row");
+            assert_eq!(row.issued, 0);
+            assert_eq!(row.slo_attainment, 1.0, "vacuous SLO on an empty row");
+        }
+    }
+
+    /// `test_model` slowed 4× so the b2_qos burst genuinely oversubscribes
+    /// one device and the shedding policies have something to shed.
+    fn slow_model() -> ServiceModel {
+        let mut model = test_model();
+        for branch in &mut model.branches {
+            branch.frame_time_us *= 4;
+            branch.fill_time_us *= 4;
+        }
+        model
+    }
+
+    #[test]
+    fn shedding_policies_conserve_with_the_fourth_outcome() {
+        let model = slow_model();
+        let scenario = Scenario::b2_qos();
+        for &admission in AdmissionKind::all() {
+            for &kind in SchedulerKind::all() {
+                let report = simulate_qos(&model, &scenario, kind, admission);
+                assert!(
+                    report.conserves_requests(),
+                    "{} / {:?}: {} + {} + {} + {} != {}",
+                    admission.name(),
+                    kind,
+                    report.completed,
+                    report.dropped,
+                    report.lost,
+                    report.shed,
+                    report.issued
+                );
+                assert_eq!(report.admission, admission.name());
+            }
+        }
+        // The b2_qos burst oversubscribes one device, so both shedding
+        // policies must actually shed.
+        for admission in [AdmissionKind::QueueThreshold, AdmissionKind::BudgetAware] {
+            let report = simulate_qos(
+                &model,
+                &scenario,
+                SchedulerKind::PriorityByBranch,
+                admission,
+            );
+            assert!(report.shed > 0, "{} never shed", admission.name());
+        }
+    }
+
+    #[test]
+    fn queue_thresholds_protect_the_interactive_tier() {
+        let model = slow_model();
+        let scenario = Scenario::b2_qos();
+        let report = simulate_qos(
+            &model,
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::QueueThreshold,
+        );
+        let interactive = report.class(QosClass::Interactive).expect("row");
+        let best_effort = report.class(QosClass::BestEffort).expect("row");
+        assert!(best_effort.shed > 0, "lower tiers shed first");
+        // Interactive is only turned away at a literally full queue, so
+        // its shed rate stays below the best-effort tier's.
+        let rate = |c: &crate::ClassServeStats| c.shed as f64 / c.issued.max(1) as f64;
+        assert!(rate(interactive) < rate(best_effort));
     }
 
     #[test]

@@ -49,9 +49,11 @@ pub enum LoadBalancerKind {
 }
 
 impl LoadBalancerKind {
-    /// All built-in balancing policies.
-    pub fn all() -> [LoadBalancerKind; 4] {
-        [
+    /// All built-in balancing policies. Returns a slice so adding a
+    /// policy does not ripple a fixed array length through every call
+    /// site.
+    pub fn all() -> &'static [LoadBalancerKind] {
+        &[
             LoadBalancerKind::RoundRobin,
             LoadBalancerKind::LeastLoaded,
             LoadBalancerKind::AffinityFirst,
@@ -268,6 +270,7 @@ mod tests {
             session,
             branch,
             issued_at_us: 0,
+            class: crate::QosClass::Standard,
         }
     }
 

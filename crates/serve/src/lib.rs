@@ -32,13 +32,24 @@
 //!   failure injector kills shards mid-run, re-placing their orphaned
 //!   queues through the live balancer. [`simulate_fleet`] is
 //!   [`simulate_autoscaled`] under the no-op policy, bit for bit.
+//! - **QoS & admission** ([`QosClass`], [`AdmissionController`]): every
+//!   session draws a QoS class (latency budget + scheduling weight) from
+//!   the scenario's seeded [`ClassMix`]; the weighted priority scheduler
+//!   orders work by `class weight × branch priority`, and an admission
+//!   controller (admit-all, queue-depth thresholds, budget-aware early
+//!   rejection) sheds low tiers *before* queues saturate — `shed` is a
+//!   fourth terminal outcome with conservation `completed + dropped +
+//!   lost + shed == issued`. The classless path is the
+//!   everyone-is-`Standard` + admit-all special case, bit for bit.
 //! - **Reporting** ([`ServeReport`]): throughput, utilization, drop rate
 //!   and p50/p95/p99 latency from a fixed-bucket histogram
 //!   ([`LatencyHistogram`]), plus per-shard utilization/imbalance
 //!   ([`ShardStats`]), availability (completed/issued with re-placed and
 //!   lost counts, pre/post-failure tails, the [`ScaleEvent`] lifecycle
-//!   log) and a merged fleet-wide latency histogram, rendered as a single
-//!   machine-readable JSON line.
+//!   log), per-class latency/shed statistics with `slo_attainment` (the
+//!   fraction of completions inside their class budget,
+//!   [`ClassServeStats`]) and a merged fleet-wide latency histogram,
+//!   rendered as a single machine-readable JSON line.
 //!
 //! # Example
 //!
@@ -63,25 +74,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod autoscale;
 mod engine;
 mod fleet;
 mod histogram;
 pub mod json;
 mod model;
+mod qos;
 mod report;
 mod request;
 mod scenario;
 mod scheduler;
 
+pub use admission::{
+    AdmissionController, AdmissionKind, AdmissionView, AdmitAll, BudgetAwareAdmission,
+    QueueThresholdAdmission,
+};
 pub use autoscale::{Autoscaler, FailurePlan, ScaleEvent, ScaleEventKind, ShardState};
 pub use engine::{
-    simulate, simulate_autoscaled, simulate_fleet, simulate_fleet_with, simulate_with,
+    simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
+    simulate_fleet_with, simulate_qos, simulate_with,
 };
 pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
 pub use model::{BranchService, ServiceModel};
-pub use report::{BranchServeStats, LatencySummary, ServeReport, ShardStats};
+pub use qos::{ClassMix, QosClass, CLASS_COUNT};
+pub use report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport, ShardStats};
 pub use request::Request;
 pub use scenario::{ArrivalPattern, Scenario};
 pub use scheduler::{BatchScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind};

@@ -4,6 +4,7 @@
 use crate::autoscale::{ScaleEvent, ShardState};
 use crate::histogram::LatencyHistogram;
 use crate::json::{array, JsonObject};
+use crate::qos::QosClass;
 use serde::{Deserialize, Serialize};
 
 /// Latency summary extracted from a fixed-bucket histogram, milliseconds.
@@ -51,7 +52,35 @@ pub struct BranchServeStats {
     /// admitted by the balancer's re-placement pick, or arriving while no
     /// shard was placeable).
     pub lost: u64,
+    /// Requests shed by the admission controller (0 under admit-all).
+    pub shed: u64,
     /// Latency summary over completed requests.
+    pub latency: LatencySummary,
+}
+
+/// Serving statistics of one QoS class, scored against its own budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassServeStats {
+    /// The class.
+    pub class: QosClass,
+    /// The class's latency budget (its SLO), milliseconds.
+    pub budget_ms: f64,
+    /// The class's scheduling weight.
+    pub weight: f64,
+    /// Requests issued by sessions of this class.
+    pub issued: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped at a full queue.
+    pub dropped: u64,
+    /// Requests lost to shard failure.
+    pub lost: u64,
+    /// Requests shed by the admission controller.
+    pub shed: u64,
+    /// Fraction of this class's completed requests that finished within
+    /// the class budget (1.0 when nothing completed).
+    pub slo_attainment: f64,
+    /// Latency summary over this class's completed requests.
     pub latency: LatencySummary,
 }
 
@@ -64,6 +93,8 @@ pub struct ShardStats {
     pub completed: u64,
     /// Requests dropped at this shard's full queue.
     pub dropped: u64,
+    /// Requests the admission controller shed at this shard's front door.
+    pub shed: u64,
     /// The shard's lifecycle state at the end of the run (every shard of
     /// a fixed fleet stays active).
     pub state: ShardState,
@@ -142,24 +173,48 @@ pub struct ServeReport {
     /// Fleet lifecycle log — spawns, warm-ups, drains, retirements and
     /// failures in time order; empty for a fixed fleet.
     pub scale_events: Vec<ScaleEvent>,
+    /// Requests shed by the admission controller — the fourth terminal
+    /// outcome: `completed + dropped + lost + shed == issued`. Always 0
+    /// under admit-all (the legacy paths).
+    pub shed: u64,
+    /// Admission policy name (`admit_all` on the legacy paths).
+    pub admission: String,
+    /// Fraction of completed requests that finished within their class
+    /// budget (1.0 when nothing completed). The SLO headline: policies
+    /// are compared on this, not raw p99.
+    pub slo_attainment: f64,
+    /// Per-class statistics, in [`QosClass::all`] order (a classless run
+    /// carries everything in the `standard` row).
+    pub classes: Vec<ClassServeStats>,
 }
 
 impl ServeReport {
     /// Sanity invariant: every issued request is accounted for — in total
-    /// (completed, dropped at admission, or lost to failure), per branch,
-    /// and per shard. Every request is routed to exactly one shard's front
-    /// door — lost requests to none — so shard totals also sum back to the
-    /// fleet totals.
+    /// (completed, dropped at a full queue, lost to failure, or shed by
+    /// admission), per branch, per QoS class, and per shard. Every
+    /// request is routed to exactly one shard's front door — lost
+    /// requests to none — so shard totals also sum back to the fleet
+    /// totals, and the class rows partition every fleet counter.
     pub fn conserves_requests(&self) -> bool {
-        self.completed + self.dropped + self.lost == self.issued
+        let sums = |f: fn(&ClassServeStats) -> u64| self.classes.iter().map(f).sum::<u64>();
+        self.completed + self.dropped + self.lost + self.shed == self.issued
             && self
                 .branches
                 .iter()
-                .all(|b| b.completed + b.dropped + b.lost == b.issued)
+                .all(|b| b.completed + b.dropped + b.lost + b.shed == b.issued)
+            && self
+                .classes
+                .iter()
+                .all(|c| c.completed + c.dropped + c.lost + c.shed == c.issued)
+            && sums(|c| c.issued) == self.issued
+            && sums(|c| c.completed) == self.completed
+            && sums(|c| c.dropped) == self.dropped
+            && sums(|c| c.lost) == self.lost
+            && sums(|c| c.shed) == self.shed
             && self
                 .shards
                 .iter()
-                .all(|s| s.completed + s.dropped == s.issued)
+                .all(|s| s.completed + s.dropped + s.shed == s.issued)
             && self.shards.iter().map(|s| s.issued).sum::<u64>() + self.lost == self.issued
             && self.shards.iter().map(|s| s.completed).sum::<u64>() == self.completed
     }
@@ -172,6 +227,11 @@ impl ServeReport {
     /// Statistics of the branch with the given index.
     pub fn branch(&self, index: usize) -> Option<&BranchServeStats> {
         self.branches.get(index)
+    }
+
+    /// Statistics of one QoS class.
+    pub fn class(&self, class: QosClass) -> Option<&ClassServeStats> {
+        self.classes.iter().find(|c| c.class == class)
     }
 
     /// Renders the report as one machine-readable JSON line. New fields
@@ -193,6 +253,7 @@ impl ServeReport {
                     .f64("p99_ms", b.latency.p99_ms)
                     .f64("max_ms", b.latency.max_ms)
                     .u64("lost", b.lost)
+                    .u64("shed", b.shed)
                     .render()
             })
             .collect();
@@ -209,6 +270,27 @@ impl ServeReport {
                     .f64("p99_ms", s.latency.p99_ms)
                     .f64("max_ms", s.latency.max_ms)
                     .str("state", s.state.name())
+                    .u64("shed", s.shed)
+                    .render()
+            })
+            .collect();
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .map(|c| {
+                JsonObject::new()
+                    .str("class", c.class.name())
+                    .f64("budget_ms", c.budget_ms)
+                    .f64("weight", c.weight)
+                    .u64("issued", c.issued)
+                    .u64("completed", c.completed)
+                    .u64("dropped", c.dropped)
+                    .u64("lost", c.lost)
+                    .u64("shed", c.shed)
+                    .f64("slo_attainment", c.slo_attainment)
+                    .f64("p50_ms", c.latency.p50_ms)
+                    .f64("p99_ms", c.latency.p99_ms)
+                    .f64("max_ms", c.latency.max_ms)
                     .render()
             })
             .collect();
@@ -251,6 +333,10 @@ impl ServeReport {
             .f64("pre_failure_p99_ms", self.latency_pre_failure.p99_ms)
             .f64("post_failure_p99_ms", self.latency_post_failure.p99_ms)
             .raw("scale_events", &array(&scale_events))
+            .u64("shed", self.shed)
+            .str("admission", &self.admission)
+            .f64("slo_attainment", self.slo_attainment)
+            .raw("classes", &array(&classes))
             .render()
     }
 }
@@ -282,12 +368,14 @@ mod tests {
                 completed: 9,
                 dropped: 1,
                 lost: 0,
+                shed: 0,
                 latency: LatencySummary::default(),
             }],
             shards: vec![ShardStats {
                 issued: 10,
                 completed: 9,
                 dropped: 1,
+                shed: 0,
                 state: ShardState::Active,
                 utilization: 0.5,
                 latency: LatencySummary::default(),
@@ -298,7 +386,40 @@ mod tests {
             latency_pre_failure: LatencySummary::default(),
             latency_post_failure: LatencySummary::default(),
             scale_events: Vec::new(),
+            shed: 0,
+            admission: "admit_all".into(),
+            slo_attainment: 1.0,
+            classes: standard_only_classes(10, 9, 1, 0, 0),
         }
+    }
+
+    /// Class rows with everything in the `standard` row — the shape every
+    /// classless run reports.
+    fn standard_only_classes(
+        issued: u64,
+        completed: u64,
+        dropped: u64,
+        lost: u64,
+        shed: u64,
+    ) -> Vec<ClassServeStats> {
+        QosClass::all()
+            .iter()
+            .map(|class| {
+                let hit = *class == QosClass::Standard;
+                ClassServeStats {
+                    class: *class,
+                    budget_ms: class.budget_ms(),
+                    weight: class.weight(),
+                    issued: if hit { issued } else { 0 },
+                    completed: if hit { completed } else { 0 },
+                    dropped: if hit { dropped } else { 0 },
+                    lost: if hit { lost } else { 0 },
+                    shed: if hit { shed } else { 0 },
+                    slo_attainment: 1.0,
+                    latency: LatencySummary::default(),
+                }
+            })
+            .collect()
     }
 
     #[test]
@@ -328,6 +449,12 @@ mod tests {
             "\"availability\":0.9000",
             "\"scale_events\":[]",
             "\"state\":\"active\"",
+            "\"shed\":0",
+            "\"admission\":\"admit_all\"",
+            "\"slo_attainment\":1.0000",
+            "\"classes\":[{\"class\":\"interactive\"",
+            "\"budget_ms\":400.0000",
+            "\"weight\":0.2500",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -355,6 +482,8 @@ mod tests {
         r.lost = 2;
         r.branches[0].issued = 12;
         r.branches[0].lost = 2;
+        r.classes[1].issued = 12;
+        r.classes[1].lost = 2;
         assert!(r.conserves_requests());
         r.lost = 1;
         assert!(!r.conserves_requests(), "fleet lost must match the books");
@@ -374,5 +503,62 @@ mod tests {
             let at = line.rfind(key).unwrap_or_else(|| panic!("missing {key}"));
             assert!(at > shards_at, "{key} must render after the shard list");
         }
+    }
+
+    #[test]
+    fn qos_fields_render_after_the_availability_tail() {
+        // Append-only growth: the QoS section comes after everything the
+        // availability refactor appended.
+        let line = report().to_json_line();
+        let events_at = line.rfind("\"scale_events\":").expect("scale_events");
+        for key in ["\"admission\":", "\"slo_attainment\":", "\"classes\":["] {
+            let at = line.rfind(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > events_at, "{key} must render after the event log");
+        }
+    }
+
+    #[test]
+    fn conservation_checks_the_class_partition() {
+        // Class rows must partition every fleet counter…
+        let mut r = report();
+        r.classes[1].issued = 9;
+        r.classes[1].completed = 8;
+        assert!(!r.conserves_requests(), "class sums must match the totals");
+        // …and balance internally.
+        let mut r = report();
+        r.classes[1].completed = 8;
+        r.classes[0].completed = 1;
+        assert!(
+            !r.conserves_requests(),
+            "per-class books must balance even when the sums do"
+        );
+        // Shed requests are part of the partition.
+        let mut r = report();
+        r.issued = 12;
+        r.shed = 2;
+        r.branches[0].issued = 12;
+        r.branches[0].shed = 2;
+        r.shards[0].issued = 12;
+        r.shards[0].shed = 2;
+        r.classes[1].issued = 12;
+        r.classes[1].shed = 2;
+        assert!(r.conserves_requests());
+        r.shards[0].shed = 1;
+        assert!(!r.conserves_requests(), "shard shed must match its books");
+    }
+
+    #[test]
+    fn class_lookup_finds_each_row() {
+        let r = report();
+        assert_eq!(
+            r.class(QosClass::Standard).expect("standard row").issued,
+            10
+        );
+        assert_eq!(
+            r.class(QosClass::Interactive)
+                .expect("interactive row")
+                .issued,
+            0
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Decode requests: the unit of work the serving simulator schedules.
 
+use crate::qos::QosClass;
 use serde::{Deserialize, Serialize};
 
 /// One branch-decode request: "produce the next frame of branch `branch` for
@@ -8,7 +9,10 @@ use serde::{Deserialize, Serialize};
 /// A telepresence session needs every branch output (geometry, texture,
 /// warp field, …) each avatar frame, so the generators emit one request per
 /// branch per session frame; the scheduler is then free to reorder or batch
-/// them across sessions.
+/// them across sessions. Every request carries its session's QoS class —
+/// the class is a per-session property (assigned by the scenario's seeded
+/// class mix), stamped on each request so schedulers and admission
+/// controllers can read it without a session table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Request {
     /// Globally unique, assigned in arrival order (ties broken by session
@@ -20,6 +24,9 @@ pub struct Request {
     pub branch: usize,
     /// Arrival time, microseconds since simulation start.
     pub issued_at_us: u64,
+    /// The session's QoS class (latency budget + scheduling weight);
+    /// `Standard` on the legacy classless path.
+    pub class: QosClass,
 }
 
 impl Request {
@@ -27,6 +34,11 @@ impl Request {
     /// microseconds.
     pub fn latency_us(&self, done_us: u64) -> u64 {
         done_us.saturating_sub(self.issued_at_us)
+    }
+
+    /// Whether completing at `done_us` meets this request's class budget.
+    pub fn meets_slo(&self, done_us: u64) -> bool {
+        self.latency_us(done_us) <= self.class.budget_us()
     }
 }
 
@@ -41,9 +53,25 @@ mod tests {
             session: 0,
             branch: 1,
             issued_at_us: 1_000,
+            class: QosClass::Standard,
         };
         assert_eq!(r.latency_us(3_500), 2_500);
         // Completion can never precede arrival; saturate rather than wrap.
         assert_eq!(r.latency_us(500), 0);
+    }
+
+    #[test]
+    fn slo_is_judged_against_the_class_budget() {
+        let mut r = Request {
+            id: 0,
+            session: 0,
+            branch: 0,
+            issued_at_us: 0,
+            class: QosClass::Interactive,
+        };
+        assert!(r.meets_slo(100_000)); // exactly on budget counts
+        assert!(!r.meets_slo(100_001));
+        r.class = QosClass::BestEffort;
+        assert!(r.meets_slo(100_001)); // loose tier, same latency
     }
 }

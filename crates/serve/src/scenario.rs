@@ -6,6 +6,7 @@
 //! session index, so the same scenario always produces the same request
 //! trace (the reproducibility idiom of the WIND bench harness).
 
+use crate::qos::{ClassMix, QosClass};
 use crate::request::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +68,11 @@ pub struct Scenario {
     /// Optional per-branch priority override (higher = more important).
     /// `None` keeps the service model's priorities.
     pub priorities: Option<Vec<f64>>,
+    /// QoS class mix: each session draws its class from these fractions,
+    /// seeded by the scenario seed. [`ClassMix::standard_only`] (the
+    /// default of every legacy scenario) reproduces the classless engine
+    /// bit for bit.
+    pub class_mix: ClassMix,
 }
 
 impl Scenario {
@@ -84,6 +90,7 @@ impl Scenario {
             arrival: ArrivalPattern::Steady,
             queue_capacity: 256,
             priorities: None,
+            class_mix: ClassMix::standard_only(),
         }
     }
 
@@ -128,6 +135,23 @@ impl Scenario {
             queue_capacity: 96,
             priorities: Some(vec![1.0, 1.0, 0.15]),
             ..Self::a1()
+        }
+    }
+
+    /// `b2_qos` — the QoS burst: the `b2` on/off burst pattern with eight
+    /// sessions drawing from the telepresence class mix (half
+    /// interactive) on uniform branch priorities, so the class weight is
+    /// the only thing separating tiers. The interactive demand alone
+    /// oversubscribes one accelerator during the on-windows — the
+    /// workload where admission policy, not scheduling, decides who
+    /// meets the SLO.
+    pub fn b2_qos() -> Self {
+        Self {
+            name: "b2_qos_burst".to_owned(),
+            sessions: 8,
+            priorities: None,
+            class_mix: ClassMix::telepresence(),
+            ..Self::b2()
         }
     }
 
@@ -230,12 +254,25 @@ impl Scenario {
         self
     }
 
+    /// Returns this scenario with a different QoS class mix.
+    pub fn with_class_mix(mut self, class_mix: ClassMix) -> Self {
+        self.class_mix = class_mix;
+        self
+    }
+
+    /// The QoS class of one session: a deterministic draw from the
+    /// scenario's class mix, independent of the session's arrival stream.
+    pub fn session_class(&self, session: usize) -> QosClass {
+        self.class_mix.class_for_session(self.seed, session)
+    }
+
     /// Generates the full request trace for `branches` branches, sorted by
     /// arrival time (ties broken by session then branch) with ids assigned
     /// in that order.
     pub fn generate(&self, branches: usize) -> Vec<Request> {
         let mut requests: Vec<Request> = Vec::new();
         for session in 0..self.sessions {
+            let class = self.session_class(session);
             for tick_us in self.session_ticks(session) {
                 for branch in 0..branches {
                     requests.push(Request {
@@ -243,6 +280,7 @@ impl Scenario {
                         session,
                         branch,
                         issued_at_us: tick_us,
+                        class,
                     });
                 }
             }
@@ -423,10 +461,40 @@ mod tests {
                 assert_eq!(fleet.queue_capacity, base.queue_capacity);
                 assert_eq!(fleet.arrival, base.arrival);
                 assert_eq!(fleet.priorities, base.priorities);
+                assert_eq!(fleet.class_mix, base.class_mix);
             }
         }
         // Degenerate shard counts clamp to one device.
         assert_eq!(Scenario::b2_fleet(0).sessions, 5);
+    }
+
+    #[test]
+    fn legacy_scenarios_stay_classless_and_the_qos_burst_mixes() {
+        for scenario in Scenario::suite() {
+            assert!(scenario.class_mix.is_standard_only());
+            for request in scenario.generate(2) {
+                assert_eq!(request.class, QosClass::Standard);
+            }
+        }
+        let qos = Scenario::b2_qos();
+        assert_eq!(qos.sessions, 8);
+        assert_eq!(qos.priorities, None);
+        assert_eq!(qos.arrival, Scenario::b2().arrival);
+        assert!(!qos.class_mix.is_standard_only());
+        // Class assignment is per session: every request of a session
+        // carries the session's class, and the mix actually lands more
+        // than one class across the eight sessions.
+        let requests = qos.generate(3);
+        for request in &requests {
+            assert_eq!(request.class, qos.session_class(request.session));
+        }
+        let distinct: std::collections::BTreeSet<usize> =
+            requests.iter().map(|r| r.class.index()).collect();
+        assert!(distinct.len() >= 2, "the mix must produce mixed classes");
+        // The class draw rides the scenario seed, not the arrival RNG:
+        // reseeding shifts Poisson arrivals *and* may reshuffle classes,
+        // but the same seed is always bit-identical.
+        assert_eq!(qos.generate(3), qos.generate(3));
     }
 
     #[test]

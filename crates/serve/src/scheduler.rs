@@ -5,6 +5,7 @@
 //! scheduler may inspect the whole queue when picking the next dispatch.
 
 use crate::model::ServiceModel;
+use crate::qos::CLASS_COUNT;
 use crate::request::Request;
 use std::collections::VecDeque;
 
@@ -71,8 +72,10 @@ impl<'r, 'o> Scheduler for &'r mut (dyn Scheduler + 'o) {
 pub enum SchedulerKind {
     /// Strict arrival order, one request per dispatch.
     Fifo,
-    /// Highest-priority branch first (visual branches outrank audio), with
-    /// waiting-time aging so low-priority branches cannot starve.
+    /// Weighted cross-class priority: highest `class weight × branch
+    /// priority` first (visual branches outrank audio, interactive
+    /// sessions outrank best-effort), with waiting-time aging so neither
+    /// low-priority branches nor low classes can starve.
     PriorityByBranch,
     /// Aggregates same-branch requests into batches up to the DSE-chosen
     /// batch size, amortizing pipeline fill.
@@ -80,9 +83,10 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    /// All built-in disciplines.
-    pub fn all() -> [SchedulerKind; 3] {
-        [
+    /// All built-in disciplines. Returns a slice so adding a discipline
+    /// does not ripple a fixed array length through every call site.
+    pub fn all() -> &'static [SchedulerKind] {
+        &[
             SchedulerKind::Fifo,
             SchedulerKind::PriorityByBranch,
             SchedulerKind::BatchAggregating,
@@ -136,17 +140,26 @@ impl Scheduler for FifoScheduler {
     }
 }
 
-/// Priority-by-branch: serves the branch whose head request has the highest
-/// `priority + aging_per_sec · wait` score, FIFO within a branch, one
-/// request per dispatch.
+/// Weighted cross-class priority: serves the `(branch, class)` queue whose
+/// head request has the highest `class weight × branch priority +
+/// aging_per_sec · wait` score, FIFO within a queue, one request per
+/// dispatch.
 ///
-/// The aging term bounds starvation: a low-priority head's score grows
-/// linearly with its waiting time until it overtakes the high-priority
-/// branches. With `aging_per_sec = 0` the discipline degenerates to strict
-/// priorities.
+/// The class weight multiplies the branch priority, so an interactive
+/// session's audio branch still yields to anyone's visual branch only as
+/// far as the weights say — and a run where every request is `Standard`
+/// (weight exactly 1.0) scores identically to the classless
+/// priority-by-branch discipline, which keeps the legacy path
+/// bit-identical.
+///
+/// The aging term bounds starvation: a low-scoring head's score grows
+/// linearly with its waiting time until it overtakes the high-weight
+/// queues. With `aging_per_sec = 0` the discipline degenerates to strict
+/// weighted priorities.
 #[derive(Debug)]
 pub struct PriorityScheduler {
-    queues: Vec<VecDeque<Request>>,
+    /// One FIFO per `(branch, class)`, branch-major.
+    queues: Vec<[VecDeque<Request>; CLASS_COUNT]>,
     queued: usize,
     aging_per_sec: f64,
 }
@@ -179,7 +192,23 @@ impl PriorityScheduler {
 
     fn score(&self, branch: usize, head: &Request, model: &ServiceModel, now_us: u64) -> f64 {
         let wait_sec = head.latency_us(now_us) as f64 / 1e6;
-        model.priority(branch) + self.aging_per_sec * wait_sec
+        head.class.weight() * model.priority(branch) + self.aging_per_sec * wait_sec
+    }
+
+    /// The best-scoring `(branch, class)` queue of one branch, if any head
+    /// is queued. Strictly-greater keeps ties on the class order, which
+    /// keeps dispatch deterministic.
+    fn best_class(&self, branch: usize, model: &ServiceModel, now_us: u64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (class, queue) in self.queues[branch].iter().enumerate() {
+            if let Some(head) = queue.front() {
+                let score = self.score(branch, head, model, now_us);
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((class, score));
+                }
+            }
+        }
+        best
     }
 }
 
@@ -190,9 +219,10 @@ impl Scheduler for PriorityScheduler {
 
     fn enqueue(&mut self, request: Request, _now_us: u64) {
         if request.branch >= self.queues.len() {
-            self.queues.resize_with(request.branch + 1, VecDeque::new);
+            self.queues
+                .resize_with(request.branch + 1, Default::default);
         }
-        self.queues[request.branch].push_back(request);
+        self.queues[request.branch][request.class.index()].push_back(request);
         self.queued += 1;
     }
 
@@ -209,27 +239,34 @@ impl Scheduler for PriorityScheduler {
         // Prefer branches whose pipeline is ready: committing the DMA to a
         // busy pipeline would block every other branch for no gain. Only
         // when every candidate is busy pick the one that frees soonest.
-        let mut best_ready: Option<(usize, f64)> = None;
+        let mut best_ready: Option<(usize, usize, f64)> = None;
         let mut best_busy: Option<(usize, u64)> = None;
-        for (branch, queue) in self.queues.iter().enumerate() {
-            if let Some(head) = queue.front() {
-                let free_at = branch_free_us.get(branch).copied().unwrap_or(0);
-                if free_at <= now_us {
-                    let score = self.score(branch, head, model, now_us);
-                    // Strictly-greater keeps ties on the lowest branch
-                    // index, which keeps dispatch order deterministic.
-                    if best_ready.is_none_or(|(_, s)| score > s) {
-                        best_ready = Some((branch, score));
-                    }
-                } else if best_busy.is_none_or(|(_, f)| free_at < f) {
-                    best_busy = Some((branch, free_at));
+        for branch in 0..self.queues.len() {
+            let Some((class, score)) = self.best_class(branch, model, now_us) else {
+                continue;
+            };
+            let free_at = branch_free_us.get(branch).copied().unwrap_or(0);
+            if free_at <= now_us {
+                // Strictly-greater keeps ties on the lowest branch index
+                // (then the class order), which keeps dispatch order
+                // deterministic.
+                if best_ready.is_none_or(|(_, _, s)| score > s) {
+                    best_ready = Some((branch, class, score));
                 }
+            } else if best_busy.is_none_or(|(_, f)| free_at < f) {
+                best_busy = Some((branch, free_at));
             }
         }
-        match best_ready.map(|(b, _)| b).or(best_busy.map(|(b, _)| b)) {
-            Some(branch) => {
+        let pick = best_ready.map(|(b, c, _)| (b, c)).or_else(|| {
+            best_busy.and_then(|(branch, _)| {
+                self.best_class(branch, model, now_us)
+                    .map(|(class, _)| (branch, class))
+            })
+        });
+        match pick {
+            Some((branch, class)) => {
                 self.queued -= 1;
-                self.queues[branch].pop_front().into_iter().collect()
+                self.queues[branch][class].pop_front().into_iter().collect()
             }
             None => Vec::new(),
         }
@@ -306,6 +343,7 @@ impl Scheduler for BatchScheduler {
 mod tests {
     use super::*;
     use crate::model::test_model;
+    use crate::qos::QosClass;
 
     fn request(id: u64, branch: usize, issued_at_us: u64) -> Request {
         Request {
@@ -313,6 +351,14 @@ mod tests {
             session: 0,
             branch,
             issued_at_us,
+            class: QosClass::Standard,
+        }
+    }
+
+    fn classed(id: u64, branch: usize, class: QosClass, issued_at_us: u64) -> Request {
+        Request {
+            class,
+            ..request(id, branch, issued_at_us)
         }
     }
 
@@ -356,6 +402,49 @@ mod tests {
         sched.enqueue(request(1, 0, 600_000), 600_000);
         let first = sched.next_batch(&model, 600_000, &[0; 3])[0];
         assert_eq!(first.branch, 2, "aged audio request must be served first");
+    }
+
+    #[test]
+    fn class_weight_multiplies_the_branch_priority() {
+        let model = test_model(); // branches 0/1 priority 1.0, branch 2: 0.2
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(0.0);
+        // Interactive audio (4.0 × 0.2 = 0.8) still yields to standard
+        // geometry (1.0 × 1.0), but best-effort geometry (0.25) yields to
+        // both.
+        sched.enqueue(classed(0, 0, QosClass::BestEffort, 0), 0);
+        sched.enqueue(classed(1, 2, QosClass::Interactive, 0), 0);
+        sched.enqueue(classed(2, 0, QosClass::Standard, 0), 0);
+        let order: Vec<u64> = (0..3)
+            .map(|_| sched.next_batch(&model, 0, &[0; 3])[0].id)
+            .collect();
+        assert_eq!(order, vec![2, 1, 0]);
+        assert_eq!(sched.queued(), 0);
+    }
+
+    #[test]
+    fn same_branch_fifo_holds_within_a_class_and_weight_across_classes() {
+        let model = test_model();
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(0.0);
+        sched.enqueue(classed(0, 1, QosClass::Standard, 0), 0);
+        sched.enqueue(classed(1, 1, QosClass::Interactive, 10), 10);
+        sched.enqueue(classed(2, 1, QosClass::Interactive, 20), 20);
+        let order: Vec<u64> = (0..3)
+            .map(|_| sched.next_batch(&model, 30, &[0; 3])[0].id)
+            .collect();
+        // Interactive jumps the standard head; within interactive, FIFO.
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn aging_lets_a_low_class_overtake_eventually() {
+        let model = test_model();
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(2.0);
+        // Best-effort geometry waiting 2 s: 0.25 + 2.0·2.0 = 4.25 beats a
+        // fresh interactive request's 4.0.
+        sched.enqueue(classed(0, 0, QosClass::BestEffort, 0), 0);
+        sched.enqueue(classed(1, 0, QosClass::Interactive, 2_000_000), 2_000_000);
+        let first = sched.next_batch(&model, 2_000_000, &[0; 3])[0];
+        assert_eq!(first.id, 0, "aged best-effort request must overtake");
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (five bursty sessions per shard).
     let fleet_chaos = Scenario::b2_fleet(4);
     println!("\nbalancer head-to-head on {}:", fleet_chaos.name);
-    for balancer in LoadBalancerKind::all() {
+    for &balancer in LoadBalancerKind::all() {
         let report = result.serve_fleet(&fleet_chaos, 4, balancer, SchedulerKind::BatchAggregating);
         assert!(report.conserves_requests());
         println!(

@@ -20,8 +20,8 @@ use common::three_branch_model as model;
 #[test]
 fn noop_policy_is_bit_identical_to_the_fixed_fleet_everywhere() {
     for scenario in Scenario::suite() {
-        for balancer in LoadBalancerKind::all() {
-            for kind in SchedulerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
+            for &kind in SchedulerKind::all() {
                 for shards in [1usize, 3] {
                     let config = FleetConfig::uniform(model(), shards).with_balancer(balancer);
                     let fixed = simulate_fleet(&config, &scenario, kind);
@@ -53,8 +53,8 @@ fn noop_policy_is_bit_identical_to_the_fixed_fleet_everywhere() {
 #[test]
 fn every_request_is_accounted_for_under_failure() {
     let scenario = Scenario::b2_failover(2);
-    for balancer in LoadBalancerKind::all() {
-        for kind in SchedulerKind::all() {
+    for &balancer in LoadBalancerKind::all() {
+        for &kind in SchedulerKind::all() {
             let config = FleetConfig::uniform(model(), 2).with_balancer(balancer);
             let report = simulate_autoscaled(
                 &config,

@@ -1,7 +1,9 @@
 //! Shared fixtures for the repo-level serving tests. Not every test
 //! target uses every helper, hence the `dead_code` allowances.
 
-use fcad_serve::{ArrivalPattern, BranchService, Scenario, SchedulerKind, ServiceModel};
+use fcad_serve::{
+    AdmissionKind, ArrivalPattern, BranchService, ClassMix, Scenario, SchedulerKind, ServiceModel,
+};
 use proptest::prelude::*;
 
 /// The synthetic three-branch service model (no DSE run needed) used across
@@ -66,6 +68,28 @@ pub fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
     ]
 }
 
+/// Every built-in admission policy.
+#[allow(dead_code)]
+pub fn admission_strategy() -> impl Strategy<Value = AdmissionKind> {
+    prop_oneof![
+        Just(AdmissionKind::AdmitAll),
+        Just(AdmissionKind::QueueThreshold),
+        Just(AdmissionKind::BudgetAware),
+    ]
+}
+
+/// QoS class mixes from the classless special case to heavy-interactive.
+#[allow(dead_code)]
+pub fn class_mix_strategy() -> impl Strategy<Value = ClassMix> {
+    prop_oneof![
+        Just(ClassMix::standard_only()),
+        Just(ClassMix::telepresence()),
+        Just(ClassMix::new(1.0, 1.0, 1.0)),
+        Just(ClassMix::new(0.8, 0.0, 0.2)),
+        Just(ClassMix::new(0.0, 0.0, 1.0)),
+    ]
+}
+
 /// One-second scenario from randomized property-test parameters.
 #[allow(dead_code)]
 pub fn prop_scenario(
@@ -84,5 +108,6 @@ pub fn prop_scenario(
         arrival,
         queue_capacity: capacity,
         priorities: None,
+        class_mix: ClassMix::standard_only(),
     }
 }

@@ -18,7 +18,7 @@ fn one_shard_fleet_is_bit_identical_to_the_single_device_engine() {
     // Round-robin is the single-device default, so the whole report —
     // balancer name included — must match exactly.
     for scenario in Scenario::suite() {
-        for kind in SchedulerKind::all() {
+        for &kind in SchedulerKind::all() {
             let single = simulate(&model(), &scenario, kind);
             let fleet = simulate_fleet(&FleetConfig::uniform(model(), 1), &scenario, kind);
             assert_eq!(
@@ -37,9 +37,9 @@ fn every_balancer_degenerates_to_the_single_device_on_one_shard() {
     // With one shard every placement policy routes every request to shard
     // 0, so the reports differ only in the balancer name.
     for scenario in Scenario::suite() {
-        for kind in SchedulerKind::all() {
+        for &kind in SchedulerKind::all() {
             let single = simulate(&model(), &scenario, kind);
-            for balancer in LoadBalancerKind::all() {
+            for &balancer in LoadBalancerKind::all() {
                 let config = FleetConfig::uniform(model(), 1).with_balancer(balancer);
                 let mut fleet = simulate_fleet(&config, &scenario, kind);
                 assert_eq!(fleet.balancer, balancer.name());

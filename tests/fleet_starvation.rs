@@ -83,7 +83,7 @@ fn least_loaded_beats_round_robin_p99_on_a_mixed_generation_fleet() {
     // This holds for every discipline, at 2 and at 4 shards.
     for shards in [2usize, 4] {
         let scenario = Scenario::b2_fleet(shards);
-        for kind in SchedulerKind::all() {
+        for &kind in SchedulerKind::all() {
             let round_robin = simulate_fleet(
                 &mixed_generation_fleet(shards, LoadBalancerKind::RoundRobin),
                 &scenario,

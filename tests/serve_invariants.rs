@@ -20,7 +20,7 @@ fn optimized() -> fcad::FcadResult {
 fn every_scheduler_conserves_requests_across_the_suite() {
     let result = optimized();
     for scenario in Scenario::suite() {
-        for kind in SchedulerKind::all() {
+        for &kind in SchedulerKind::all() {
             let report = result.serve_with(&scenario, kind);
             assert!(
                 report.conserves_requests(),

@@ -1,14 +1,18 @@
 //! Property-based tests of the serving simulator: bit-exact determinism for
-//! a fixed seed, and request conservation across randomized scenario
-//! parameters (including tiny queues that force drops).
+//! a fixed seed, request conservation across randomized scenario
+//! parameters (including tiny queues that force drops), and the QoS
+//! extension of both — per-class conservation with the `shed` outcome and
+//! bit-identical per-class statistics under every admission policy and
+//! class mix.
 
-use fcad_serve::{simulate, ArrivalPattern};
+use fcad_serve::{simulate, simulate_qos, ArrivalPattern};
 use proptest::prelude::*;
 
 mod common;
 
 use common::{
-    pattern_strategy, prop_scenario as scenario, scheduler_strategy, three_branch_model as model,
+    admission_strategy, class_mix_strategy, pattern_strategy, prop_scenario as scenario,
+    scheduler_strategy, three_branch_model as model,
 };
 
 proptest! {
@@ -50,6 +54,61 @@ proptest! {
         );
         prop_assert!(report.latency.p99_ms >= report.latency.p50_ms);
         prop_assert!(report.utilization <= 1.0 + 1e-9);
+    }
+
+    /// Fixed seed ⇒ bit-identical *per-class* statistics, for every
+    /// admission policy and class mix: the QoS layer must not smuggle any
+    /// nondeterminism into the engine.
+    #[test]
+    fn same_seed_gives_identical_per_class_stats(
+        seed in 0u64..10_000,
+        sessions in 1usize..6,
+        rate in 5usize..40,
+        capacity in 8usize..64,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        admission in admission_strategy(),
+        mix in class_mix_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival).with_class_mix(mix);
+        let a = simulate_qos(&model(), &scenario, kind, admission);
+        let b = simulate_qos(&model(), &scenario, kind, admission);
+        prop_assert_eq!(&a.classes, &b.classes);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-class conservation with the fourth outcome: completed +
+    /// dropped + lost + shed == issued in total, per branch and per
+    /// class, and the class rows partition every fleet counter — under
+    /// every admission policy and class mix.
+    #[test]
+    fn per_class_counts_partition_the_totals(
+        seed in 0u64..10_000,
+        sessions in 1usize..8,
+        rate in 5usize..60,
+        capacity in 4usize..64,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        admission in admission_strategy(),
+        mix in class_mix_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival).with_class_mix(mix);
+        let report = simulate_qos(&model(), &scenario, kind, admission);
+        prop_assert!(report.conserves_requests());
+        prop_assert_eq!(
+            report.issued,
+            report.classes.iter().map(|c| c.issued).sum::<u64>()
+        );
+        prop_assert_eq!(
+            report.shed,
+            report.classes.iter().map(|c| c.shed).sum::<u64>()
+        );
+        for class in &report.classes {
+            prop_assert!(class.completed + class.dropped + class.lost + class.shed == class.issued);
+            prop_assert!((0.0..=1.0).contains(&class.slo_attainment));
+            prop_assert!(class.latency.p99_ms >= class.latency.p50_ms);
+        }
+        prop_assert!((0.0..=1.0).contains(&report.slo_attainment));
     }
 
     /// Different seeds shift stochastic arrivals (the RNG is actually
