@@ -3,7 +3,7 @@
 use crate::construction::Construction;
 use crate::error::{Error, Result};
 use fcad_accel::{AcceleratorReport, ElasticAccelerator, Platform};
-use fcad_dse::{Customization, DseEngine, DseParams, DseResult};
+use fcad_dse::{Customization, DseEngine, DseParams, DseResult, ElapsedTimer};
 use fcad_nnir::{Network, Precision};
 use fcad_profiler::NetworkProfile;
 
@@ -18,6 +18,7 @@ pub struct Fcad {
     platform: Platform,
     customization: Option<Customization>,
     dse_params: DseParams,
+    timer: ElapsedTimer,
 }
 
 impl Fcad {
@@ -30,7 +31,16 @@ impl Fcad {
             platform,
             customization: None,
             dse_params: DseParams::paper(),
+            timer: ElapsedTimer::Off,
         }
+    }
+
+    /// Opts the DSE step into wall-clock elapsed-time measurement (for
+    /// interactive tables — the default `Off` keeps fixed-seed results
+    /// byte-stable run-over-run).
+    pub fn with_timer(mut self, timer: ElapsedTimer) -> Self {
+        self.timer = timer;
+        self
     }
 
     /// Sets the customization (quantization, per-branch batch sizes and
@@ -92,7 +102,7 @@ impl Fcad {
         );
 
         // Step 3: Optimization.
-        let engine = DseEngine::new(self.dse_params);
+        let engine = DseEngine::new(self.dse_params).with_timer(self.timer);
         let dse = engine.explore(&accelerator, &self.platform, &customization)?;
 
         Ok(FcadResult {

@@ -62,7 +62,7 @@ pub use validate::{BranchValidation, ValidationReport};
 
 // Re-export the types users need to drive the flow without importing every
 // sub-crate explicitly.
-pub use fcad_dse::{Customization, DseParams, DseResult};
+pub use fcad_dse::{Customization, DseParams, DseResult, ElapsedTimer};
 pub use fcad_serve::{
     AdmissionKind, Autoscaler, ClassMix, ClassServeStats, FailurePlan, FleetConfig,
     LoadBalancerKind, QosClass, ScaleEvent, ScaleEventKind, Scenario, SchedulerKind, ServeReport,

@@ -5,13 +5,13 @@ use crate::error::{Error, Result};
 use crate::fitness::{fitness_score, FitnessParams};
 use crate::inbranch::InBranchOptimizer;
 use crate::result::DseResult;
+use crate::timer::ElapsedTimer;
 use fcad_accel::{
     AcceleratorConfig, AcceleratorReport, ElasticAccelerator, Platform, ResourceBudget,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// How one candidate splits the platform's resources across branches: a
 /// share in `[0, 1]` per branch and per resource dimension (compute, on-chip
@@ -185,15 +185,28 @@ impl Default for DseParams {
 #[derive(Debug, Clone, Default)]
 pub struct DseEngine {
     params: DseParams,
+    timer: ElapsedTimer,
 }
 
 /// Backwards-compatible name for the cross-branch search engine.
 pub type CrossBranchSearch = DseEngine;
 
 impl DseEngine {
-    /// Creates an engine with the given hyper-parameters.
+    /// Creates an engine with the given hyper-parameters. Elapsed-time
+    /// measurement is off, so results depend only on the seed.
     pub fn new(params: DseParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            timer: ElapsedTimer::Off,
+        }
+    }
+
+    /// Returns a copy that measures real wall-clock time into
+    /// [`DseResult::elapsed_seconds`] — for interactive runs only; the
+    /// default engine reports 0.0 so fixed-seed output stays byte-stable.
+    pub fn with_timer(mut self, timer: ElapsedTimer) -> Self {
+        self.timer = timer;
+        self
     }
 
     /// The engine's hyper-parameters.
@@ -216,7 +229,7 @@ impl DseEngine {
         platform: &Platform,
         customization: &Customization,
     ) -> Result<DseResult> {
-        let started = Instant::now();
+        let started = self.timer.start();
         let branch_count = accelerator.branch_count();
         if customization.branch_count() != branch_count {
             return Err(Error::MismatchedCustomization {
@@ -358,7 +371,7 @@ impl DseEngine {
             best_fitness,
             iterations_run: self.params.iterations.max(1),
             convergence_iteration,
-            elapsed_seconds: started.elapsed().as_secs_f64(),
+            elapsed_seconds: started.elapsed_seconds(),
             fitness_history: history,
         })
     }
@@ -378,6 +391,7 @@ impl DseEngine {
                     self.params
                         .with_seed(self.params.seed.wrapping_add(i as u64 * 7919)),
                 )
+                .with_timer(self.timer)
                 .explore(accelerator, platform, customization)
             })
             .collect()
@@ -455,6 +469,37 @@ mod tests {
         let b = engine.explore(&acc, &platform, &custom).unwrap();
         assert_eq!(a.best_config, b.best_config);
         assert!((a.best_fitness - b.best_fitness).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dse_output_is_byte_stable_run_over_run() {
+        // Regression for the wall-clock leak fcad-lint found on day one:
+        // `Instant::now()` used to feed `elapsed_seconds`, so two runs of
+        // the same seed were never fully equal. With the timer off (the
+        // default), the ENTIRE result — elapsed_seconds included — must
+        // compare equal across independent runs.
+        let acc = two_branch_accelerator();
+        let platform = Platform::z7045();
+        let custom = Customization::uniform(2, Precision::Int8);
+        let engine = DseEngine::new(DseParams::fast());
+        let a = engine.explore(&acc, &platform, &custom).unwrap();
+        let b = engine.explore(&acc, &platform, &custom).unwrap();
+        assert_eq!(a, b, "fixed seed must give a byte-stable DseResult");
+        assert_eq!(a.elapsed_seconds, 0.0, "off-timer reports exactly zero");
+    }
+
+    #[test]
+    fn wall_clock_timer_is_opt_in_and_only_touches_elapsed() {
+        let acc = two_branch_accelerator();
+        let platform = Platform::z7045();
+        let custom = Customization::uniform(2, Precision::Int8);
+        let plain = DseEngine::new(DseParams::fast());
+        let timed = DseEngine::new(DseParams::fast()).with_timer(ElapsedTimer::WallClock);
+        let a = plain.explore(&acc, &platform, &custom).unwrap();
+        let mut b = timed.explore(&acc, &platform, &custom).unwrap();
+        assert!(b.elapsed_seconds > 0.0, "wall-clock timer measures time");
+        b.elapsed_seconds = 0.0;
+        assert_eq!(a, b, "the timer must not influence the search itself");
     }
 
     #[test]

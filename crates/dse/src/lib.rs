@@ -47,6 +47,7 @@ mod error;
 mod fitness;
 mod inbranch;
 mod result;
+mod timer;
 
 pub use crossbranch::{CrossBranchSearch, DseEngine, DseParams, ResourceDistribution};
 pub use customization::Customization;
@@ -54,3 +55,4 @@ pub use error::{Error, Result};
 pub use fitness::{fitness_score, FitnessParams};
 pub use inbranch::InBranchOptimizer;
 pub use result::{ConvergenceStats, DseResult};
+pub use timer::{ElapsedTimer, RunningTimer};

@@ -1,0 +1,73 @@
+//! Injectable elapsed-time measurement for DSE runs.
+//!
+//! `DseResult::elapsed_seconds` used to be read straight from
+//! `Instant::now()` inside `DseEngine::explore`, which leaked wall-clock
+//! time into an otherwise fully seeded result: two runs with the same seed
+//! produced byte-different `DseResult`s. The timer is now injected — off by
+//! default, so fixed-seed DSE output is byte-stable run-over-run — and
+//! interactive callers (the `reproduce` binary) opt into wall-clock
+//! measurement explicitly.
+
+use std::time::Instant;
+
+/// How [`crate::DseEngine`] measures an exploration's duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ElapsedTimer {
+    /// Report `elapsed_seconds = 0.0`. The default: results depend only on
+    /// the seed, so fixed-seed runs are byte-identical.
+    #[default]
+    Off,
+    /// Measure real wall-clock time with [`Instant`]. For interactive use
+    /// (CLI tables, convergence studies); never in golden-tested paths.
+    WallClock,
+}
+
+impl ElapsedTimer {
+    /// Starts a measurement.
+    pub fn start(self) -> RunningTimer {
+        RunningTimer {
+            started: match self {
+                ElapsedTimer::Off => None,
+                // fcad-lint: allow(wall-clock): the one sanctioned clock read — opt-in, default Off, excluded from deterministic result paths
+                ElapsedTimer::WallClock => Some(Instant::now()),
+            },
+        }
+    }
+}
+
+/// An in-flight measurement started by [`ElapsedTimer::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunningTimer {
+    started: Option<Instant>,
+}
+
+impl RunningTimer {
+    /// Seconds since [`ElapsedTimer::start`] — 0.0 when the timer is off.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.map_or(0.0, |t| t.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_timer_reports_exactly_zero() {
+        let timer = ElapsedTimer::Off.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(timer.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn wall_clock_timer_advances() {
+        let timer = ElapsedTimer::WallClock.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(timer.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(ElapsedTimer::default(), ElapsedTimer::Off);
+    }
+}

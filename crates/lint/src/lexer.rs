@@ -1,0 +1,493 @@
+//! A lightweight Rust lexer for lint rules.
+//!
+//! This is deliberately *not* a full Rust parser (no `syn` — the workspace
+//! is offline): it strips comments and string literals, yields
+//! identifier/number/punctuation tokens with line numbers, collects
+//! `fcad-lint` allow directives from the stripped line comments, and marks
+//! tokens that live inside `#[cfg(test)]` modules or `#[test]` functions so
+//! rules can restrict themselves to non-test code. Rules built on it are
+//! lexical approximations — sound for this repo's idioms, not for arbitrary
+//! Rust (e.g. a type alias `use Instant as I` would evade `wall-clock`).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String, raw-string, byte-string or char literal; `text` holds the
+    /// raw (unprocessed) content between the delimiters.
+    Str,
+    /// Numeric literal (loosely lexed; suffixes and exponents included).
+    Num,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what it holds per kind).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]` module or a
+    /// `#[test]` function.
+    pub in_test: bool,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: String, line: u32) -> Self {
+        Self {
+            kind,
+            text,
+            line,
+            in_test: false,
+        }
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// One parsed allow directive: `allow(<rule>): <reason>` after the
+/// `fcad-lint` comment marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+    /// Rule name inside `allow(...)` (empty when malformed).
+    pub rule: String,
+    /// The mandatory reason string after the closing `):`.
+    pub reason: String,
+    /// Why the directive failed to parse, when it did.
+    pub malformed: Option<String>,
+    /// Set by the rule engine when a diagnostic consumed this allow.
+    pub used: bool,
+}
+
+/// A lexed source file: token stream plus collected allow directives.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Tokens in source order, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// `fcad-lint` directives found in line comments, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes one Rust source file.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                if let Some(allow) = parse_directive(&comment, line) {
+                    allows.push(allow);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; Rust allows nesting.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (content, next) = read_quoted(&chars, i + 1, &mut line);
+                tokens.push(Token::new(TokenKind::Str, content, start_line));
+                i = next;
+            }
+            '\'' => {
+                // Char literal vs lifetime: `'\…'` and `'x'` are literals,
+                // anything else is a lifetime (whose name lexes as an ident).
+                if chars.get(i + 1) == Some(&'\\') {
+                    let mut j = i + 2;
+                    if j < chars.len() {
+                        j += 1; // the escaped character
+                    }
+                    // Skip to the closing quote (covers \u{…} forms).
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    let content: String = chars[i + 1..j.min(chars.len())].iter().collect();
+                    tokens.push(Token::new(TokenKind::Str, content, line));
+                    i = (j + 1).min(chars.len());
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    let content: String = chars[i + 1..i + 2].iter().collect();
+                    tokens.push(Token::new(TokenKind::Str, content, line));
+                    i += 3;
+                } else {
+                    i += 1; // lifetime tick; the name lexes as an ident
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '_'
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::new(TokenKind::Num, text, line));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw/byte string prefixes (`r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`) must be caught before ident lexing because raw
+                // strings do not process escapes.
+                if let Some((content, next, start_line)) = read_raw_string(&chars, i, &mut line) {
+                    tokens.push(Token::new(TokenKind::Str, content, start_line));
+                    i = next;
+                    continue;
+                }
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::new(TokenKind::Ident, text, line));
+            }
+            other => {
+                tokens.push(Token::new(TokenKind::Punct, other.to_string(), line));
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut tokens);
+    LexedFile { tokens, allows }
+}
+
+/// Reads a normal (escape-processing) string body starting just after the
+/// opening quote; returns the content and the index just past the closing
+/// quote.
+fn read_quoted(chars: &[char], mut i: usize, line: &mut u32) -> (String, usize) {
+    let start = i;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                let content: String = chars[start..i].iter().collect();
+                return (content, i + 1);
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (chars[start..].iter().collect(), chars.len())
+}
+
+/// Recognizes `r"…"`, `b"…"`, `br"…"`, `rb"…"` and hash-delimited raw
+/// strings at position `i`; returns `(content, next_index, start_line)`.
+fn read_raw_string(chars: &[char], i: usize, line: &mut u32) -> Option<(String, usize, u32)> {
+    let mut j = i;
+    let mut raw = false;
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                raw = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') || (hashes > 0 && !raw) {
+        return None;
+    }
+    let start_line = *line;
+    j += 1;
+    let body_start = j;
+    if raw {
+        // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        loop {
+            if j >= chars.len() {
+                return Some((
+                    chars[body_start..].iter().collect(),
+                    chars.len(),
+                    start_line,
+                ));
+            }
+            if chars[j] == '\n' {
+                *line += 1;
+            }
+            if chars[j] == '"'
+                && chars[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|c| **c == '#')
+                    .count()
+                    == hashes
+            {
+                let content: String = chars[body_start..j].iter().collect();
+                return Some((content, j + 1 + hashes, start_line));
+            }
+            j += 1;
+        }
+    } else {
+        let (content, next) = read_quoted(chars, body_start, line);
+        Some((content, next, start_line))
+    }
+}
+
+/// Parses an `allow(<rule>): <reason>` directive out of one line comment
+/// carrying the `fcad-lint` marker, if present.
+fn parse_directive(comment: &str, line: u32) -> Option<Allow> {
+    let marker = "fcad-lint:";
+    let at = comment.find(marker)?;
+    let rest = comment[at + marker.len()..].trim();
+    let malformed = |msg: &str| {
+        Some(Allow {
+            line,
+            rule: String::new(),
+            reason: String::new(),
+            malformed: Some(msg.to_owned()),
+            used: false,
+        })
+    };
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return malformed("expected `allow(<rule>): <reason>` after `fcad-lint:`");
+    };
+    let Some(close) = args.find(')') else {
+        return malformed("unclosed `allow(` — expected `allow(<rule>): <reason>`");
+    };
+    let rule = args[..close].trim().to_owned();
+    if rule.is_empty() {
+        return malformed("empty rule name in `allow()`");
+    }
+    let tail = args[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix(':') else {
+        return malformed("missing `: <reason>` after `allow(<rule>)` — a reason is required");
+    };
+    let reason = reason.trim().to_owned();
+    if reason.is_empty() {
+        return malformed("empty reason — `allow(<rule>)` requires a non-empty reason");
+    }
+    Some(Allow {
+        line,
+        rule,
+        reason,
+        malformed: None,
+        used: false,
+    })
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item or a `#[test]`
+/// function as test code.
+///
+/// Approximation: an attribute counts as test-gating when it is exactly
+/// `#[test]`, or a `#[cfg(...)]` that mentions `test` without a `not`
+/// (so `#[cfg(not(test))]` code stays production code).
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut attr = Vec::new();
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    attr.push(tokens[j].text.clone());
+                }
+                j += 1;
+            }
+            if is_test_attr(&attr) {
+                // Find the gated item's block: the first `{` before any `;`
+                // at attribute nesting level (a `;` means an extern module
+                // or item with no inline body — nothing to mark).
+                let mut k = j + 1;
+                let mut block_start = None;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        block_start = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(open) = block_start {
+                    let mut braces = 0usize;
+                    let mut end = open;
+                    while end < tokens.len() {
+                        if tokens[end].is_punct('{') {
+                            braces += 1;
+                        } else if tokens[end].is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    let last = end.min(tokens.len() - 1);
+                    for token in &mut tokens[i..=last] {
+                        token.in_test = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// See [`mark_test_regions`] for the approximation this implements.
+fn is_test_attr(attr: &[String]) -> bool {
+    if attr.len() == 1 && attr[0] == "test" {
+        return true;
+    }
+    attr.first().is_some_and(|head| head == "cfg")
+        && attr.iter().any(|t| t == "test")
+        && !attr.iter().any(|t| t == "not")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_keeps_idents() {
+        let lexed = lex("let x = \"Instant::now()\"; // Instant::now()\nInstant::now();\n");
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "Instant", "now"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_do_not_process_escapes() {
+        let lexed = lex(r####"let s = r#"a \ " b"#; after();"####);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn marks_cfg_test_modules_and_test_fns() {
+        let source = "fn live() { x.unwrap(); }\n\
+                      #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n\
+                      #[test]\nfn alone() { z.unwrap(); }\n\
+                      #[cfg(not(test))]\nfn gated() { w.unwrap(); }\n";
+        let lexed = lex(source);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, [false, true, true, false]);
+    }
+
+    #[test]
+    fn parses_allow_directives_and_rejects_missing_reasons() {
+        let lexed = lex(
+            "// fcad-lint: allow(panic): index bounded by construction\n\
+             // fcad-lint: allow(panic):\n\
+             // fcad-lint: allow(panic)\n\
+             // fcad-lint: deny(panic): nope\n",
+        );
+        assert_eq!(lexed.allows.len(), 4);
+        assert!(lexed.allows[0].malformed.is_none());
+        assert_eq!(lexed.allows[0].rule, "panic");
+        assert_eq!(lexed.allows[0].reason, "index bounded by construction");
+        assert!(lexed.allows[1].malformed.is_some());
+        assert!(lexed.allows[2].malformed.is_some());
+        assert!(lexed.allows[3].malformed.is_some());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let lexed = lex("let a = \"two\nlines\";\n/* block\ncomment */\nmarker();\n");
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker token");
+        assert_eq!(marker.line, 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! The `fcad-lint` CLI.
+//!
+//! ```text
+//! fcad-lint [--root <dir>] [--json] [--deny all | --deny <rule>]... [--list-rules]
+//! ```
+//!
+//! Without `--deny`, findings are advisory (printed, exit 0). CI runs
+//! `--deny all`: any finding exits 1. Exit 2 means the invocation itself
+//! failed (bad flag, unreadable tree).
+
+use fcad_lint::{lint_tree, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    deny: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS, // --help / --list-rules
+        Err(message) => {
+            eprintln!("fcad-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_tree(&options.root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("fcad-lint: cannot lint {}: {error}", options.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.json {
+        println!("{}", report.to_json_line());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+        }
+        println!(
+            "fcad-lint: {} file(s) checked, {} finding(s)",
+            report.files_checked,
+            report.diagnostics.len()
+        );
+    }
+
+    let denied = report
+        .diagnostics
+        .iter()
+        .filter(|d| options.deny_all || options.deny.iter().any(|r| r == d.rule))
+        .count();
+    if denied > 0 {
+        if !options.json {
+            eprintln!("fcad-lint: {denied} denied finding(s)");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        deny: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                options.root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a directory".to_owned())?,
+                );
+            }
+            "--json" => options.json = true,
+            "--deny" => {
+                let rule = args
+                    .next()
+                    .ok_or_else(|| "--deny needs a rule name or `all`".to_owned())?;
+                if rule == "all" {
+                    options.deny_all = true;
+                } else if rules::RULES.contains(&rule.as_str())
+                    || rules::ENGINE_CHECKS.contains(&rule.as_str())
+                {
+                    options.deny.push(rule);
+                } else {
+                    return Err(format!("unknown rule `{rule}` — see --list-rules"));
+                }
+            }
+            "--list-rules" => {
+                for rule in rules::RULES.iter().chain(rules::ENGINE_CHECKS.iter()) {
+                    println!("{rule}");
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fcad-lint — determinism / panic-policy / schema gate\n\n\
+                     USAGE: fcad-lint [--root <dir>] [--json] [--deny all|--deny <rule>]... \
+                     [--list-rules]\n\n\
+                     Suppress a finding with a trailing or preceding comment:\n  \
+                     // fcad-lint: allow(<rule>): <reason — mandatory>"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(Some(options))
+}

@@ -1,0 +1,300 @@
+//! `schema-append-only`: statically extracts the JSON key emission order
+//! from `ServeReport::to_json_line` (crates/serve/src/report.rs) and
+//! compares it against the checked-in manifest `schema/serve_report.keys`.
+//!
+//! The serve report's JSON line is an append-only format: PRs 3–5 each
+//! appended their fields at the end of the object so consumers that index
+//! existing keys keep working. The golden tests enforce that convention at
+//! runtime; this rule enforces it at the source level — any reorder,
+//! removal, or unrecorded addition of a key fails the lint, and a
+//! legitimate append shows up as an append-only diff of the manifest.
+
+use crate::lexer::{LexedFile, TokenKind};
+use crate::rules::Diagnostic;
+
+/// The manifest path, relative to the repo root.
+pub const MANIFEST_PATH: &str = "schema/serve_report.keys";
+
+/// The emitting source file, relative to the repo root.
+pub const REPORT_PATH: &str = "crates/serve/src/report.rs";
+
+/// `JsonObject` builder methods that take a key as their first argument.
+const KEYED_METHODS: [&str; 4] = ["str", "u64", "f64", "raw"];
+
+/// One build chain: the keys pushed between `JsonObject::new()` and
+/// `.render()`, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Keys in emission order.
+    pub keys: Vec<String>,
+    /// Line of the `JsonObject::new()` that opens the chain.
+    pub line: u32,
+}
+
+/// Extracts every `JsonObject` build chain inside `fn to_json_line`, in
+/// source order (sub-object chains first, the top-level report chain last —
+/// mirroring how the function is written).
+pub fn extract_chains(lexed: &LexedFile) -> Vec<Chain> {
+    let tokens = &lexed.tokens;
+    // Locate `fn to_json_line` and its block.
+    let mut start = None;
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("to_json_line"))
+        {
+            start = Some(i);
+            break;
+        }
+    }
+    let Some(mut i) = start else {
+        return Vec::new();
+    };
+    while i < tokens.len() && !tokens[i].is_punct('{') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    let mut end = i;
+    while end < tokens.len() {
+        if tokens[end].is_punct('{') {
+            depth += 1;
+        } else if tokens[end].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        end += 1;
+    }
+
+    let mut chains = Vec::new();
+    let mut current: Option<Chain> = None;
+    let mut j = i;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_ident("JsonObject")
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(j + 3).is_some_and(|n| n.is_ident("new"))
+        {
+            if let Some(done) = current.take() {
+                chains.push(done);
+            }
+            current = Some(Chain {
+                keys: Vec::new(),
+                line: t.line,
+            });
+            j += 4;
+            continue;
+        }
+        if let Some(chain) = current.as_mut() {
+            // `.method("key", …)` — key is the first argument when it is a
+            // string literal (branch/shard field names are literals here).
+            if t.is_punct('.')
+                && tokens
+                    .get(j + 1)
+                    .is_some_and(|m| KEYED_METHODS.contains(&m.text.as_str()))
+                && tokens.get(j + 2).is_some_and(|p| p.is_punct('('))
+                && tokens.get(j + 3).is_some_and(|k| k.kind == TokenKind::Str)
+            {
+                chain.keys.push(tokens[j + 3].text.clone());
+                j += 4;
+                continue;
+            }
+            if t.is_punct('.') && tokens.get(j + 1).is_some_and(|m| m.is_ident("render")) {
+                chains.push(current.take().unwrap_or(Chain {
+                    keys: Vec::new(),
+                    line: t.line,
+                }));
+                j += 2;
+                continue;
+            }
+        }
+        j += 1;
+    }
+    if let Some(done) = current.take() {
+        chains.push(done);
+    }
+    chains
+}
+
+/// One named block of the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestBlock {
+    /// Human-readable object name (after `=`).
+    pub name: String,
+    /// Keys in recorded order.
+    pub keys: Vec<String>,
+}
+
+/// Parses the manifest: `#` comments and blank lines ignored, `= name`
+/// opens a block, every other line is a key of the current block.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestBlock>, String> {
+    let mut blocks: Vec<ManifestBlock> = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('=') {
+            blocks.push(ManifestBlock {
+                name: name.trim().to_owned(),
+                keys: Vec::new(),
+            });
+        } else {
+            match blocks.last_mut() {
+                Some(block) => block.keys.push(line.to_owned()),
+                None => {
+                    return Err(format!(
+                        "line {}: key `{line}` before any `= <object>` header",
+                        n + 1
+                    ))
+                }
+            }
+        }
+    }
+    Ok(blocks)
+}
+
+/// Compares the extracted chains against the manifest and reports every
+/// divergence as a `schema-append-only` diagnostic against `report_path`.
+pub fn compare(chains: &[Chain], manifest: &[ManifestBlock], report_path: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut diag = |line: u32, message: String| {
+        out.push(Diagnostic {
+            rule: "schema-append-only",
+            file: report_path.to_owned(),
+            line,
+            message,
+        });
+    };
+    if chains.len() != manifest.len() {
+        diag(
+            1,
+            format!(
+                "to_json_line builds {} JsonObject chain(s) but the manifest records {} — \
+                 update {MANIFEST_PATH} (append-only) to match",
+                chains.len(),
+                manifest.len()
+            ),
+        );
+        return out;
+    }
+    for (chain, block) in chains.iter().zip(manifest) {
+        let shared = chain.keys.len().min(block.keys.len());
+        for k in 0..shared {
+            if chain.keys[k] != block.keys[k] {
+                diag(
+                    chain.line,
+                    format!(
+                        "object `{}` key #{}: source emits \"{}\" where the manifest records \
+                         \"{}\" — non-append schema edit (keys may only be added at the END \
+                         of a block)",
+                        block.name,
+                        k + 1,
+                        chain.keys[k],
+                        block.keys[k]
+                    ),
+                );
+                return out; // one precise divergence beats a cascade
+            }
+        }
+        if chain.keys.len() > block.keys.len() {
+            diag(
+                chain.line,
+                format!(
+                    "object `{}` appends unrecorded key(s) {:?} — append them to \
+                     {MANIFEST_PATH} in the same change so the schema diff is visible",
+                    block.name,
+                    &chain.keys[shared..]
+                ),
+            );
+        } else if block.keys.len() > chain.keys.len() {
+            diag(
+                chain.line,
+                format!(
+                    "object `{}` no longer emits manifest key(s) {:?} — removing report \
+                     fields breaks consumers; this schema is append-only",
+                    block.name,
+                    &block.keys[shared..]
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Runs the whole rule against in-memory sources (the tree-level driver
+/// reads the two files and calls this; fixture tests call it directly).
+pub fn check_schema(report_source: &str, manifest_text: &str) -> Vec<Diagnostic> {
+    let lexed = crate::lexer::lex(report_source);
+    let chains = extract_chains(&lexed);
+    if chains.is_empty() {
+        return vec![Diagnostic {
+            rule: "schema-append-only",
+            file: REPORT_PATH.to_owned(),
+            line: 1,
+            message: "no JsonObject build chains found in fn to_json_line — the extractor \
+                      and the emitter have drifted apart"
+                .to_owned(),
+        }];
+    }
+    match parse_manifest(manifest_text) {
+        Ok(manifest) => compare(&chains, &manifest, REPORT_PATH),
+        Err(why) => vec![Diagnostic {
+            rule: "schema-append-only",
+            file: MANIFEST_PATH.to_owned(),
+            line: 1,
+            message: format!("unparseable manifest: {why}"),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EMITTER: &str = r#"
+        impl R {
+            pub fn to_json_line(&self) -> String {
+                let rows: Vec<String> = self
+                    .rows
+                    .iter()
+                    .map(|r| JsonObject::new().str("name", &r.name).u64("count", r.count).render())
+                    .collect();
+                JsonObject::new()
+                    .str("scenario", &self.scenario)
+                    .u64("issued", self.issued)
+                    .raw("rows", &array(&rows))
+                    .render()
+            }
+        }
+    "#;
+
+    #[test]
+    fn extracts_chains_in_source_order() {
+        let chains = extract_chains(&crate::lexer::lex(EMITTER));
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].keys, ["name", "count"]);
+        assert_eq!(chains[1].keys, ["scenario", "issued", "rows"]);
+    }
+
+    #[test]
+    fn matching_manifest_is_clean() {
+        let manifest = "# comment\n= row\nname\ncount\n\n= report\nscenario\nissued\nrows\n";
+        assert!(check_schema(EMITTER, manifest).is_empty());
+    }
+
+    #[test]
+    fn reorder_and_removal_and_unrecorded_append_all_fail() {
+        let reordered = "= row\ncount\nname\n= report\nscenario\nissued\nrows\n";
+        let removed = "= row\nname\ncount\n= report\nscenario\nissued\nrows\nextra\n";
+        let unrecorded = "= row\nname\n= report\nscenario\nissued\nrows\n";
+        for manifest in [reordered, removed, unrecorded] {
+            let found = check_schema(EMITTER, manifest);
+            assert_eq!(found.len(), 1, "{manifest:?} → {found:?}");
+            assert_eq!(found[0].rule, "schema-append-only");
+        }
+    }
+}

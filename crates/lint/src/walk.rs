@@ -1,0 +1,69 @@
+//! Deterministic repo walk: every `.rs` file under the root, sorted, with
+//! the vendored stubs, build artifacts, and the linter's own violation
+//! fixtures excluded.
+
+use std::fs;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", ".github"];
+
+/// Path prefixes (repo-relative, forward slashes) excluded from scanning:
+/// the fixture snippets exist to violate the rules.
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/tests/fixtures"];
+
+/// Collects every scannable `.rs` file under `root`, as repo-relative
+/// forward-slash paths, sorted for deterministic output.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = relative(root, &path);
+                if !SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                    files.push(rel);
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, with forward slashes on every platform.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_of_this_crate_finds_sources_not_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crate lives two levels under the repo root");
+        let files = rust_files(root).expect("repo is readable");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(!files.iter().any(|f| f.contains("lint/tests/fixtures")));
+        assert!(!files.iter().any(|f| f.starts_with("vendor/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output must be deterministic");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a real violation suppressed by a well-formed directive with a
+// reason — once on the violating line, once on the line above. The
+// `panic` alias must resolve to `panic-policy`.
+pub fn head(values: &[u64]) -> u64 {
+    let first = values.first().unwrap(); // fcad-lint: allow(panic): slice proven non-empty by caller
+    // fcad-lint: allow(panic-policy): invariant documented in the module header
+    let last = values.last().unwrap();
+    *first + *last
+}

@@ -1,0 +1,7 @@
+// Fixture: a directive without the mandatory reason. The suppression is
+// void (the underlying finding still fires) and the malformed directive
+// itself is an allow-syntax finding.
+pub fn head(values: &[u64]) -> u64 {
+    // fcad-lint: allow(panic)
+    *values.first().unwrap()
+}

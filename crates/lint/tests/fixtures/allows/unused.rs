@@ -1,0 +1,6 @@
+// Fixture: a well-formed directive that suppresses nothing — stale
+// escape hatches rot, so the engine reports them as unused-allow.
+pub fn double(v: u64) -> u64 {
+    // fcad-lint: allow(wall-clock): left behind after a refactor
+    v * 2
+}

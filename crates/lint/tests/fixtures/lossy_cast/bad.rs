@@ -1,0 +1,8 @@
+// Fixture: bare numeric casts in the serve crate. Each one can silently
+// round (u64 → f64 above 2^53) or truncate (f64 → u64, u64 → usize).
+pub fn stats(total_us: u64, count: usize, rate: f64) -> (f64, u64, usize) {
+    let mean = total_us as f64 / count as f64;
+    let budget = (rate * 1e6) as u64;
+    let index = budget as usize;
+    (mean, budget, index)
+}

@@ -1,0 +1,11 @@
+// Fixture: conversions routed through the serve crate's checked-cast
+// helpers; the helpers concentrate the `as` casts behind debug-asserted
+// preconditions, so call sites stay cast-free.
+use crate::cast::{f64_to_u64, u64_to_usize, usize_to_f64, u64_to_f64};
+
+pub fn stats(total_us: u64, count: usize, rate: f64) -> (f64, u64, usize) {
+    let mean = u64_to_f64(total_us) / usize_to_f64(count);
+    let budget = f64_to_u64((rate * 1e6).round());
+    let index = u64_to_usize(budget);
+    (mean, budget, index)
+}

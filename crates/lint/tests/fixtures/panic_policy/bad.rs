@@ -1,0 +1,24 @@
+// Fixture: panics in non-test library code. Bare unwrap, empty expect,
+// and the panic family must all fire; the test module at the bottom is
+// exempt.
+pub fn head(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    let last = values.last().expect("");
+    if *first > *last {
+        panic!("unsorted");
+    }
+    match values.len() {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => *first,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

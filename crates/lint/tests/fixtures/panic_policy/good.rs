@@ -1,0 +1,8 @@
+// Fixture: the sanctioned patterns — propagate with `?`/defaults, or
+// `expect` with a message that names the violated invariant.
+pub fn head(values: &[u64]) -> u64 {
+    let first = values
+        .first()
+        .expect("head() requires a non-empty value slice");
+    values.last().copied().unwrap_or(*first)
+}

@@ -1,0 +1,16 @@
+// Fixture: a miniature serve-report emitter — one sub-object chain, then
+// the top-level chain, mirroring report.rs's shape.
+impl Report {
+    pub fn to_json_line(&self) -> String {
+        let branch = JsonObject::new()
+            .str("name", &self.name)
+            .u64("issued", self.issued)
+            .f64("p99_ms", self.p99_ms)
+            .render();
+        JsonObject::new()
+            .str("scenario", &self.scenario)
+            .u64("seed", self.seed)
+            .raw("branches", &branch)
+            .render()
+    }
+}

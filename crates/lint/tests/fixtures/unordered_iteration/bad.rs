@@ -1,0 +1,13 @@
+// Fixture: hash containers in a result path (linted under a virtual
+// crates/serve path). Iteration order is not deterministic.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u64]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered containers keep every iteration deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u64]) -> usize {
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

@@ -1,0 +1,13 @@
+// Fixture: entropy-seeded RNGs and raw seeds in the serve crate. Every
+// construction here must fire: ambient entropy breaks fixed-seed
+// reproducibility, and a raw `seed_from_u64(seed)` collides streams that
+// share a scenario seed.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn draws(seed: u64, session: u64) -> (f64, f64, f64) {
+    let mut ambient = rand::thread_rng();
+    let mut entropy = StdRng::from_entropy();
+    let mut raw = StdRng::seed_from_u64(seed ^ session);
+    (ambient.gen(), entropy.gen(), raw.gen_range(0.0..1.0))
+}

@@ -1,0 +1,11 @@
+// Fixture: the sanctioned pattern — every RNG seed derives from the
+// scenario seed through the shared SplitMix64 finalizer, so streams are
+// independent and the whole run replays from one u64.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn draws(seed: u64, session: usize) -> (f64, f64) {
+    let mut mixed = StdRng::seed_from_u64(mix(seed, usize_to_u64(session)));
+    let mut derived = StdRng::seed_from_u64(session_seed(seed, session));
+    (mixed.gen(), derived.gen_range(0.0..1.0))
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads inside a simulation path (linted under a
+// virtual crates/dse path). Both forms must fire.
+use std::time::{Instant, SystemTime};
+
+pub fn explore() -> f64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,8 @@
+// Fixture: the deterministic pattern — elapsed time comes from an
+// injected timer, never from a direct clock read.
+use crate::timer::ElapsedTimer;
+
+pub fn explore(timer: ElapsedTimer) -> f64 {
+    let started = timer.start();
+    started.elapsed_seconds()
+}

@@ -25,6 +25,7 @@
 //!   exceeds its class budget — serving it would burn fabric time on a
 //!   frame that misses its deadline anyway.
 
+use crate::cast::usize_to_f64;
 use crate::qos::{QosClass, CLASS_COUNT};
 use crate::request::Request;
 
@@ -183,8 +184,8 @@ impl AdmissionController for QueueThresholdAdmission {
     }
 
     fn admit(&mut self, request: &Request, view: &AdmissionView, _now_us: u64) -> bool {
-        let threshold = self.fractions[request.class.index()] * view.capacity as f64;
-        (view.queued as f64) < threshold
+        let threshold = self.fractions[request.class.index()] * usize_to_f64(view.capacity);
+        usize_to_f64(view.queued) < threshold
     }
 }
 

@@ -23,6 +23,7 @@
 //! plus the empty failure plan reproduce the fixed-fleet engine bit for
 //! bit.
 
+use crate::cast::usize_to_u64;
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle state of one fleet shard. A fixed fleet keeps every shard
@@ -301,8 +302,8 @@ impl FailurePlan {
         let span = (horizon_us - lo).saturating_sub(lo).max(1);
         let mut kills: Vec<Kill> = (0..count)
             .map(|k| Kill {
-                at_us: lo + mix(seed, 2 * k as u64) % span,
-                target: KillTarget::Seeded(mix(seed, 2 * k as u64 + 1)),
+                at_us: lo + mix(seed, 2 * usize_to_u64(k)) % span,
+                target: KillTarget::Seeded(mix(seed, 2 * usize_to_u64(k) + 1)),
             })
             .collect();
         kills.sort_by_key(|k| k.at_us);

@@ -40,6 +40,7 @@ use crate::admission::{AdmissionController, AdmissionKind, AdmissionView};
 use crate::autoscale::{
     Autoscaler, FailurePlan, KillTarget, ScaleEvent, ScaleEventKind, ShardState,
 };
+use crate::cast::{f64_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
 use crate::fleet::{Balancer, FleetConfig, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
@@ -509,7 +510,7 @@ fn run<'a>(
                             if actives.is_empty() {
                                 None
                             } else {
-                                Some(actives[(hash % actives.len() as u64) as usize])
+                                Some(actives[u64_to_usize(hash % usize_to_u64(actives.len()))])
                             }
                         }
                     };
@@ -537,7 +538,7 @@ fn run<'a>(
                         dead.backlog_us = 0;
                         dead.class_backlog_us = [0; CLASS_COUNT];
                         dead.pending_since_us = 0;
-                        dead.issued -= orphans.len() as u64;
+                        dead.issued -= usize_to_u64(orphans.len());
                     }
                     // Replacement spawns back to the policy floor *before*
                     // re-placement, ignoring the cooldown: availability
@@ -813,8 +814,9 @@ fn run<'a>(
             }) {
                 let mut window: Vec<u64> = recent_latencies.iter().copied().collect();
                 window.sort_unstable();
-                let rank = ((window.len() as f64 * 0.99).ceil() as usize).clamp(1, window.len());
-                let p99_ms = window[rank - 1] as f64 / 1_000.0;
+                let rank =
+                    f64_to_usize((usize_to_f64(window.len()) * 0.99).ceil()).clamp(1, window.len());
+                let p99_ms = u64_to_f64(window[rank - 1]) / 1_000.0;
                 if p99_ms >= policy.scale_up_p99_ms {
                     do_spawn(
                         done_us,
@@ -846,8 +848,41 @@ fn run<'a>(
     let total_shed: u64 = shed.iter().sum();
     let total_within: u64 = within_budget.iter().sum();
     let total_busy_us: u64 = shards.iter().map(|s| s.busy_us).sum();
+    // Conservation: every issued request retires through exactly one of
+    // completed / dropped / lost / shed. Checked at report assembly, per
+    // branch and per class, and fleet-wide; debug builds only, so every
+    // test run audits the books at zero release cost.
+    debug_assert_eq!(
+        total_completed + total_dropped + total_lost + total_shed,
+        total_issued,
+        "fleet-wide request conservation violated"
+    );
+    for index in 0..issued.len() {
+        debug_assert_eq!(
+            completed[index] + dropped[index] + lost[index] + shed[index],
+            issued[index],
+            "branch {index} request conservation violated"
+        );
+    }
+    for index in 0..class_issued.len() {
+        debug_assert_eq!(
+            class_completed[index] + class_dropped[index] + class_lost[index] + class_shed[index],
+            class_issued[index],
+            "class {index} request conservation violated"
+        );
+    }
+    // Per shard the `lost` term vanishes: a lost request was orphaned off
+    // its dead shard's books (and never reached a live one), so it belongs
+    // to no shard at all.
+    for (index, s) in shards.iter().enumerate() {
+        debug_assert_eq!(
+            s.completed + s.dropped + s.shed,
+            s.issued,
+            "shard {index} request conservation violated"
+        );
+    }
     let makespan_us = shards.iter().map(|s| s.free_at_us).max().unwrap_or(0);
-    let makespan_sec = makespan_us as f64 / 1e6;
+    let makespan_sec = u64_to_f64(makespan_us) / 1e6;
     // The fleet-wide latency distribution is the exact merge of the
     // per-shard histograms (fixed buckets make the merge lossless).
     let mut overall = LatencyHistogram::new();
@@ -897,7 +932,7 @@ fn run<'a>(
             shed: s.shed,
             state: s.phase,
             utilization: if makespan_us > 0 {
-                s.busy_us as f64 / makespan_us as f64
+                u64_to_f64(s.busy_us) / u64_to_f64(makespan_us)
             } else {
                 0.0
             },
@@ -907,9 +942,9 @@ fn run<'a>(
     let imbalance = {
         let max = shards.iter().map(|s| s.busy_us).max().unwrap_or(0);
         let min = shards.iter().map(|s| s.busy_us).min().unwrap_or(0);
-        let mean = total_busy_us as f64 / shard_count as f64;
+        let mean = u64_to_f64(total_busy_us) / usize_to_f64(shard_count);
         if mean > 0.0 {
-            (max - min) as f64 / mean
+            u64_to_f64(max - min) / mean
         } else {
             0.0
         }
@@ -937,16 +972,16 @@ fn run<'a>(
         drop_rate: if total_issued == 0 {
             0.0
         } else {
-            total_dropped as f64 / total_issued as f64
+            u64_to_f64(total_dropped) / u64_to_f64(total_issued)
         },
         makespan_sec,
         throughput_rps: if makespan_sec > 0.0 {
-            total_completed as f64 / makespan_sec
+            u64_to_f64(total_completed) / makespan_sec
         } else {
             0.0
         },
         utilization: if makespan_us > 0 {
-            total_busy_us as f64 / (shard_count as u64 * makespan_us) as f64
+            u64_to_f64(total_busy_us) / u64_to_f64(usize_to_u64(shard_count) * makespan_us)
         } else {
             0.0
         },
@@ -959,7 +994,7 @@ fn run<'a>(
         availability: if total_issued == 0 {
             1.0
         } else {
-            total_completed as f64 / total_issued as f64
+            u64_to_f64(total_completed) / u64_to_f64(total_issued)
         },
         latency_pre_failure: LatencySummary::of(&pre_failure),
         latency_post_failure: LatencySummary::of(&post_failure),
@@ -977,7 +1012,7 @@ fn attainment(within: u64, completed: u64) -> f64 {
     if completed == 0 {
         1.0
     } else {
-        within as f64 / completed as f64
+        u64_to_f64(within) / u64_to_f64(completed)
     }
 }
 
@@ -1016,7 +1051,7 @@ fn record(
     shard: usize,
 ) {
     events.push(ScaleEvent {
-        at_sec: at_us as f64 / 1e6,
+        at_sec: u64_to_f64(at_us) / 1e6,
         kind,
         shard,
         active_after: active_count(shards),

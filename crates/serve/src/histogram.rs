@@ -1,6 +1,7 @@
 //! Fixed-bucket latency histogram with percentile extraction (the
 //! tail-behaviour bookkeeping idiom of the WIND bench harness).
 
+use crate::cast::{f64_to_u64, u64_to_f64, u64_to_usize, usize_to_u64};
 use serde::{Deserialize, Serialize};
 
 /// Number of fixed-width buckets; latencies beyond the last bucket land in
@@ -46,7 +47,7 @@ impl LatencyHistogram {
 
     /// Records one latency observation, µs.
     pub fn record(&mut self, latency_us: u64) {
-        let bucket = (latency_us / BUCKET_WIDTH_US) as usize;
+        let bucket = u64_to_usize(latency_us / BUCKET_WIDTH_US);
         if bucket < BUCKETS {
             self.counts[bucket] += 1;
         } else {
@@ -83,7 +84,7 @@ impl LatencyHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let rank = f64_to_u64(((p / 100.0) * u64_to_f64(self.total)).ceil().max(1.0));
         let mut seen = 0;
         for (bucket, count) in self.counts.iter().enumerate() {
             seen += count;
@@ -91,7 +92,7 @@ impl LatencyHistogram {
                 // Clamp to the observed maximum so a percentile can never
                 // exceed `max_ms` when every observation sits low in its
                 // bucket.
-                let edge_ms = ((bucket as u64 + 1) * BUCKET_WIDTH_US) as f64 / 1_000.0;
+                let edge_ms = u64_to_f64((usize_to_u64(bucket) + 1) * BUCKET_WIDTH_US) / 1_000.0;
                 return edge_ms.min(self.max_ms());
             }
         }
@@ -103,13 +104,13 @@ impl LatencyHistogram {
         if self.total == 0 {
             0.0
         } else {
-            self.sum_us as f64 / self.total as f64 / 1_000.0
+            u64_to_f64(self.sum_us) / u64_to_f64(self.total) / 1_000.0
         }
     }
 
     /// Maximum observed latency, milliseconds.
     pub fn max_ms(&self) -> f64 {
-        self.max_us as f64 / 1_000.0
+        u64_to_f64(self.max_us) / 1_000.0
     }
 }
 

@@ -76,6 +76,7 @@
 
 mod admission;
 mod autoscale;
+mod cast;
 mod engine;
 mod fleet;
 mod histogram;

@@ -14,6 +14,7 @@
 //! and amortized as the scheduler aggregates same-branch requests up to
 //! the DSE-chosen batch size.
 
+use crate::cast::{f64_to_u64, u64_to_f64, usize_to_u64};
 use fcad_accel::AcceleratorReport;
 use fcad_cyclesim::AcceleratorSim;
 use serde::{Deserialize, Serialize};
@@ -97,7 +98,7 @@ impl ServiceModel {
     /// requests, µs. Always at least 1 µs so the event clock advances.
     pub fn batch_service_us(&self, branch: usize, batch_len: usize) -> u64 {
         let b = &self.branches[branch];
-        (b.fill_time_us + batch_len as u64 * b.frame_time_us).max(1)
+        (b.fill_time_us + usize_to_u64(batch_len) * b.frame_time_us).max(1)
     }
 
     /// Priority weight of `branch` (1.0 when out of range).
@@ -112,11 +113,11 @@ impl ServiceModel {
 }
 
 fn seconds_to_us(seconds: f64) -> u64 {
-    (seconds * 1e6).ceil().max(1.0) as u64
+    f64_to_u64((seconds * 1e6).ceil().max(1.0))
 }
 
 fn cycles_to_us(cycles: u64, frequency_hz: f64) -> u64 {
-    (cycles as f64 / frequency_hz.max(1.0) * 1e6).ceil() as u64
+    f64_to_u64((u64_to_f64(cycles) / frequency_hz.max(1.0) * 1e6).ceil())
 }
 
 /// A small hand-built model used across the crate's unit tests: two

@@ -17,6 +17,7 @@
 //! degenerates to the plain branch priority and the whole serve stack is
 //! bit-identical to the pre-QoS engine under the admit-all policy.
 
+use crate::cast::{u64_to_f64, usize_to_u64};
 use serde::{Deserialize, Serialize};
 
 /// Number of QoS classes (the length of every per-class array).
@@ -79,7 +80,7 @@ impl QosClass {
 
     /// Latency budget, milliseconds (the unit the report quotes).
     pub fn budget_ms(&self) -> f64 {
-        self.budget_us() as f64 / 1_000.0
+        u64_to_f64(self.budget_us()) / 1_000.0
     }
 
     /// Scheduling weight: the weighted scheduler orders queue heads by
@@ -159,9 +160,9 @@ impl ClassMix {
     /// session)` always yields the same class, independent of the
     /// session's arrival stream (which mixes the seed differently).
     pub fn class_for_session(&self, seed: u64, session: usize) -> QosClass {
-        let draw = crate::autoscale::mix(seed ^ CLASS_STREAM, session as u64);
+        let draw = crate::autoscale::mix(seed ^ CLASS_STREAM, usize_to_u64(session));
         // Upper 53 bits to a uniform f64 in [0, 1).
-        let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        let u = u64_to_f64(draw >> 11) / u64_to_f64(1u64 << 53);
         self.class_at(u)
     }
 }

@@ -2,6 +2,7 @@
 //! percentiles, per accelerator and per branch.
 
 use crate::autoscale::{ScaleEvent, ShardState};
+use crate::cast::usize_to_u64;
 use crate::histogram::LatencyHistogram;
 use crate::json::{array, JsonObject};
 use crate::qos::QosClass;
@@ -301,8 +302,8 @@ impl ServeReport {
                 JsonObject::new()
                     .f64("at_sec", e.at_sec)
                     .str("kind", e.kind.name())
-                    .u64("shard", e.shard as u64)
-                    .u64("active_after", e.active_after as u64)
+                    .u64("shard", usize_to_u64(e.shard))
+                    .u64("active_after", usize_to_u64(e.active_after))
                     .render()
             })
             .collect();
@@ -311,7 +312,7 @@ impl ServeReport {
             .str("scheduler", &self.scheduler)
             .str("balancer", &self.balancer)
             .u64("seed", self.seed)
-            .u64("sessions", self.sessions as u64)
+            .u64("sessions", usize_to_u64(self.sessions))
             .u64("issued", self.issued)
             .u64("completed", self.completed)
             .u64("dropped", self.dropped)

@@ -6,6 +6,7 @@
 //! session index, so the same scenario always produces the same request
 //! trace (the reproducibility idiom of the WIND bench harness).
 
+use crate::cast::{f64_to_u64, u64_to_f64, usize_to_f64, usize_to_u64};
 use crate::qos::{ClassMix, QosClass};
 use crate::request::Request;
 use rand::rngs::StdRng;
@@ -287,7 +288,7 @@ impl Scenario {
         }
         requests.sort_by_key(|r| (r.issued_at_us, r.session, r.branch));
         for (id, request) in requests.iter_mut().enumerate() {
-            request.id = id as u64;
+            request.id = usize_to_u64(id);
         }
         requests
     }
@@ -295,7 +296,7 @@ impl Scenario {
     /// Frame-arrival times of one session, µs, strictly within the
     /// generation window.
     fn session_ticks(&self, session: usize) -> Vec<u64> {
-        let horizon_us = (self.duration_sec * 1e6) as u64;
+        let horizon_us = f64_to_u64(self.duration_sec * 1e6);
         let rate = self.frame_rate_hz;
         if rate <= 0.0 || horizon_us == 0 {
             return Vec::new();
@@ -310,7 +311,7 @@ impl Scenario {
         // Steady sessions start phase-staggered; stochastic ones at zero.
         let mut t = match self.arrival {
             ArrivalPattern::Steady => {
-                (session as f64 / self.sessions.max(1) as f64 / rate * 1e6) as u64
+                f64_to_u64(usize_to_f64(session) / usize_to_f64(self.sessions.max(1)) / rate * 1e6)
             }
             _ => 0,
         };
@@ -324,7 +325,7 @@ impl Scenario {
                     factor,
                 } => {
                     let period_us = secs_to_us(period_sec);
-                    let on_us = (period_us as f64 * duty.clamp(0.0, 1.0)) as u64;
+                    let on_us = f64_to_u64(u64_to_f64(period_us) * duty.clamp(0.0, 1.0));
                     let phase = t % period_us;
                     if phase < on_us.max(1) {
                         exponential_us(&mut rng, rate * factor.max(f64::MIN_POSITIVE))
@@ -339,7 +340,7 @@ impl Scenario {
                     start_factor,
                     end_factor,
                 } => {
-                    let progress = t as f64 / horizon_us as f64;
+                    let progress = u64_to_f64(t) / u64_to_f64(horizon_us);
                     let factor = start_factor + (end_factor - start_factor) * progress;
                     secs_to_us(1.0 / (rate * factor.max(1e-3)))
                 }
@@ -356,7 +357,7 @@ impl Scenario {
 /// Derives an independent per-session RNG seed (the crate's shared
 /// SplitMix64 finalizer).
 fn session_seed(seed: u64, session: usize) -> u64 {
-    crate::autoscale::mix(seed, session as u64)
+    crate::autoscale::mix(seed, usize_to_u64(session))
 }
 
 /// Exponential inter-arrival sample at `rate` events/second, µs, ≥ 1.
@@ -366,7 +367,7 @@ fn exponential_us(rng: &mut StdRng, rate: f64) -> u64 {
 }
 
 fn secs_to_us(seconds: f64) -> u64 {
-    (seconds * 1e6).round().max(1.0) as u64
+    f64_to_u64((seconds * 1e6).round().max(1.0))
 }
 
 #[cfg(test)]

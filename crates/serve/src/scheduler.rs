@@ -4,6 +4,7 @@
 //! ordering and batching. All queued requests have already arrived, so a
 //! scheduler may inspect the whole queue when picking the next dispatch.
 
+use crate::cast::u64_to_f64;
 use crate::model::ServiceModel;
 use crate::qos::CLASS_COUNT;
 use crate::request::Request;
@@ -191,7 +192,7 @@ impl PriorityScheduler {
     }
 
     fn score(&self, branch: usize, head: &Request, model: &ServiceModel, now_us: u64) -> f64 {
-        let wait_sec = head.latency_us(now_us) as f64 / 1e6;
+        let wait_sec = u64_to_f64(head.latency_us(now_us)) / 1e6;
         head.class.weight() * model.priority(branch) + self.aging_per_sec * wait_sec
     }
 

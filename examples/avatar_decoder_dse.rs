@@ -35,6 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = Fcad::new(targeted_decoder(), platform.clone())
             .with_customization(Customization::codec_avatar(precision))
             .with_dse_params(DseParams::paper())
+            // The case table displays DSE wall time — opt into the clock.
+            .with_timer(fcad::ElapsedTimer::WallClock)
             .run()?;
         println!(
             "{}",

@@ -47,6 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             priorities: vec![1.0, 2.0, 1.0],
         })
         .with_dse_params(DseParams::paper())
+        // The case table displays DSE wall time — opt into the clock.
+        .with_timer(fcad::ElapsedTimer::WallClock)
         .run()?;
 
     println!(

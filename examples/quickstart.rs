@@ -19,6 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = Fcad::new(decoder, Platform::z7045())
         .with_customization(Customization::codec_avatar(Precision::Int8))
         .with_dse_params(DseParams::paper())
+        // The table below displays DSE wall time, so opt into the clock
+        // (the default timer is off, keeping fixed-seed results byte-stable).
+        .with_timer(fcad::ElapsedTimer::WallClock)
         .run()?;
 
     println!("{}", fcad::render_case_table("Z7045 (8-bit)", &result));
