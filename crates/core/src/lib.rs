@@ -64,7 +64,8 @@ pub use validate::{BranchValidation, ValidationReport};
 // sub-crate explicitly.
 pub use fcad_dse::{Customization, DseParams, DseResult, ElapsedTimer};
 pub use fcad_serve::{
-    AdmissionKind, Autoscaler, ClassMix, ClassServeStats, FailurePlan, FleetConfig,
-    LoadBalancerKind, QosClass, ScaleEvent, ScaleEventKind, Scenario, SchedulerKind, ServeReport,
-    ServiceModel, ShardState, ShardStats,
+    chrome_trace, validate_json, AdmissionKind, Autoscaler, ClassMix, ClassServeStats, FailurePlan,
+    FleetConfig, FlightRecorder, LoadBalancerKind, QosClass, Recorder, ScaleEvent, ScaleEventKind,
+    Scenario, SchedulerKind, ServeReport, ServiceModel, ShardState, ShardStats, TraceSink,
+    Windowed,
 };

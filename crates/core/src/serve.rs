@@ -11,8 +11,8 @@ use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
 use fcad_serve::{
     simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
-    simulate_qos, AdmissionKind, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind, Scenario,
-    SchedulerKind, ServeReport, ServiceModel,
+    simulate_qos, simulate_traced, AdmissionKind, Autoscaler, FailurePlan, FleetConfig,
+    LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel, TraceSink,
 };
 
 impl FcadResult {
@@ -60,6 +60,30 @@ impl FcadResult {
         admission: AdmissionKind,
     ) -> ServeReport {
         simulate_qos(&self.service_model(), scenario, kind, admission)
+    }
+
+    /// [`FcadResult::serve_qos`] with every request lifecycle narrated
+    /// into `sink` — the observability entry point. Pass a
+    /// [`fcad_serve::Recorder`] and feed its events to the exporters
+    /// (`chrome_trace`, `Windowed`, `FlightRecorder`); tracing is
+    /// observation-only, so the returned report is byte-identical to the
+    /// untraced [`FcadResult::serve_qos`] run.
+    pub fn serve_qos_traced(
+        &self,
+        scenario: &Scenario,
+        kind: SchedulerKind,
+        admission: AdmissionKind,
+        sink: &mut dyn TraceSink,
+    ) -> ServeReport {
+        simulate_traced(
+            &self.fleet_config(1),
+            scenario,
+            kind,
+            &Autoscaler::none(),
+            &FailurePlan::none(),
+            admission,
+            sink,
+        )
     }
 
     /// [`FcadResult::serve_with`] on the cycle-level-calibrated service
@@ -372,6 +396,31 @@ mod tests {
             AdmissionKind::BudgetAware,
         );
         assert_eq!(report, autoscaled, "no-op policy must not disturb QoS");
+    }
+
+    #[test]
+    fn traced_qos_serving_observes_without_disturbing() {
+        let result = optimized();
+        let scenario = Scenario::b2_qos();
+        let untraced = result.serve_qos(
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::BudgetAware,
+        );
+        let mut recorder = fcad_serve::Recorder::new();
+        let traced = result.serve_qos_traced(
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::BudgetAware,
+            &mut recorder,
+        );
+        assert_eq!(untraced, traced, "tracing must be observation-only");
+        assert!(!recorder.is_empty(), "the run must narrate itself");
+        assert_eq!(
+            recorder.summary().events,
+            recorder.events().len() as u64,
+            "the summary must count what was recorded"
+        );
     }
 
     #[test]

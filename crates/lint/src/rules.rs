@@ -58,11 +58,14 @@ fn in_scope(path: &str, prefixes: &[&str]) -> bool {
 }
 
 /// Scope of the deterministic simulation / DSE result paths: the crates
-/// whose outputs are pinned byte-for-byte by golden tests.
-const DETERMINISTIC_CRATES: [&str; 3] = [
+/// whose outputs are pinned byte-for-byte by golden tests. `crates/obs`
+/// qualifies because trace files are part of the fixed-seed ⇒
+/// byte-identical contract (events are stamped with sim-time only).
+const DETERMINISTIC_CRATES: [&str; 4] = [
     "crates/dse/src/",
     "crates/serve/src/",
     "crates/cyclesim/src/",
+    "crates/obs/src/",
 ];
 
 /// Runs every token-level rule over one lexed file and applies the allow
@@ -158,12 +161,15 @@ fn wall_clock(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// `unordered-iteration`: no `HashMap` / `HashSet` in `crates/serve` and
-/// `crates/dse` — their iteration order is randomized per process, which
-/// breaks fixed-seed ⇒ bit-identical reports. Use `BTreeMap` or a sorted
-/// `Vec`.
+/// `unordered-iteration`: no `HashMap` / `HashSet` in `crates/serve`,
+/// `crates/dse` and `crates/obs` — their iteration order is randomized per
+/// process, which breaks fixed-seed ⇒ bit-identical reports and trace
+/// files. Use `BTreeMap` or a sorted `Vec`.
 fn unordered_iteration(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
-    if !in_scope(path, &["crates/serve/src/", "crates/dse/src/"]) {
+    if !in_scope(
+        path,
+        &["crates/serve/src/", "crates/dse/src/", "crates/obs/src/"],
+    ) {
         return;
     }
     for token in tokens {
@@ -296,12 +302,13 @@ fn panic_policy(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// `lossy-cast`: no bare `as` numeric casts in `crates/serve` — every
-/// conversion on a report path must go through the checked helpers in
-/// `crates/serve/src/cast.rs` (which debug-assert losslessness) or carry an
-/// annotation saying why the cast cannot lose information.
+/// `lossy-cast`: no bare `as` numeric casts in `crates/serve` or
+/// `crates/obs` — every conversion on a report or trace path must go
+/// through the checked helpers in the crate's `cast.rs` (which
+/// debug-assert losslessness) or carry an annotation saying why the cast
+/// cannot lose information.
 fn lossy_cast(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
-    if !in_scope(path, &["crates/serve/src/"]) {
+    if !in_scope(path, &["crates/serve/src/", "crates/obs/src/"]) {
         return;
     }
     for (i, token) in tokens.iter().enumerate() {
@@ -392,6 +399,28 @@ mod tests {
         let source = "use std::collections::HashMap;\n";
         assert!(diags("crates/nnir/src/graph.rs", source).is_empty());
         assert_eq!(diags("crates/serve/src/engine.rs", source).len(), 1);
+    }
+
+    #[test]
+    fn obs_is_inside_the_determinism_scopes() {
+        // Trace files are part of the fixed-seed contract: the wall-clock,
+        // iteration-order and lossy-cast rules all police crates/obs.
+        assert_eq!(
+            diags("crates/obs/src/window.rs", "let t = SystemTime::now();\n").len(),
+            1
+        );
+        assert_eq!(
+            diags(
+                "crates/obs/src/chrome.rs",
+                "use std::collections::HashMap;\n"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            diags("crates/obs/src/window.rs", "let x = n as f64;\n").len(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Checked numeric conversions for the observability crate.
+//!
+//! `fcad-lint`'s lossy-cast rule bans bare `as` casts in `crates/obs` just
+//! as it does in `crates/serve`: trace files and metrics series promise
+//! bit-identical output for a fixed seed, so every conversion goes through
+//! these helpers, which concentrate the unavoidable casts in one audited
+//! module and `debug_assert!` the precondition that makes each one
+//! lossless.
+
+/// Largest integer magnitude `f64` represents exactly (2^53).
+const F64_EXACT: u64 = 1 << 53;
+
+/// `u64 → f64`, exact: counters and microsecond timestamps in this crate
+/// stay far below 2^53 (≈ 285 years in µs).
+pub(crate) fn u64_to_f64(v: u64) -> f64 {
+    debug_assert!(v <= F64_EXACT, "u64→f64 would round: {v} > 2^53");
+    v as f64 // fcad-lint: allow(lossy-cast): asserted ≤ 2^53, exact in f64
+}
+
+/// `usize → f64`, exact (via [`u64_to_f64`]).
+pub(crate) fn usize_to_f64(v: usize) -> f64 {
+    u64_to_f64(usize_to_u64(v))
+}
+
+/// `usize → u64`: widening on every supported target (usize ≤ 64 bits).
+pub(crate) fn usize_to_u64(v: usize) -> u64 {
+    v as u64 // fcad-lint: allow(lossy-cast): usize is at most 64 bits on all supported targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact_in_the_asserted_range() {
+        assert_eq!(u64_to_f64(0), 0.0);
+        assert_eq!(u64_to_f64(1 << 52), 4_503_599_627_370_496.0);
+        assert_eq!(usize_to_f64(42), 42.0);
+        assert_eq!(usize_to_u64(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "u64→f64 would round")]
+    #[cfg(debug_assertions)]
+    fn u64_beyond_2_53_is_caught_in_debug() {
+        u64_to_f64(F64_EXACT + 1);
+    }
+}

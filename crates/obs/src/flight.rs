@@ -1,0 +1,248 @@
+//! The flight recorder: compact per-request postmortems.
+//!
+//! Rebuilds full per-request timelines from the event stream but keeps
+//! only the interesting ones — the K worst-latency completions plus every
+//! request that did not complete (dropped, shed, lost) — and prints them
+//! as a fixed-width table, newest evidence for "why did this request blow
+//! its budget".
+
+use std::collections::BTreeMap;
+
+use crate::cast::u64_to_f64;
+use crate::event::{RequestEventKind, TraceEvent};
+
+/// One reconstructed request timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTimeline {
+    /// Request id.
+    pub id: u64,
+    /// Session the request belongs to.
+    pub session: usize,
+    /// Branch requested.
+    pub branch: usize,
+    /// QoS class name.
+    pub class_name: &'static str,
+    /// Last shard the request touched, if any.
+    pub shard: Option<usize>,
+    /// Arrival sim-time, microseconds.
+    pub issued_at_us: u64,
+    /// Enqueue sim-time, if the request entered a queue.
+    pub enqueued_at_us: Option<u64>,
+    /// Service start sim-time, if dispatched.
+    pub started_at_us: Option<u64>,
+    /// Completion sim-time, if completed.
+    pub completed_at_us: Option<u64>,
+    /// Completion latency, if completed.
+    pub latency_us: Option<u64>,
+    /// Terminal outcome: `completed`, `dropped`, `shed`, `lost`, or
+    /// `in_flight` if the stream ended mid-request.
+    pub outcome: &'static str,
+    /// Times the request was re-placed off a failed shard.
+    pub replaced: u64,
+}
+
+/// The flight recorder: the K worst completions and every non-completion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightRecorder {
+    /// Retained timelines: worst completions first (latency descending),
+    /// then non-completed requests in id order.
+    pub timelines: Vec<RequestTimeline>,
+    /// Total requests observed before filtering.
+    pub observed: usize,
+}
+
+impl FlightRecorder {
+    /// Reconstructs timelines from `events` and keeps the `worst_k`
+    /// highest-latency completed requests plus all non-completed ones.
+    pub fn from_events(events: &[TraceEvent], worst_k: usize) -> Self {
+        let mut by_id: BTreeMap<u64, RequestTimeline> = BTreeMap::new();
+        for event in events {
+            let TraceEvent::Request(e) = event else {
+                continue;
+            };
+            let entry = by_id.entry(e.id).or_insert(RequestTimeline {
+                id: e.id,
+                session: e.session,
+                branch: e.branch,
+                class_name: e.class_name,
+                shard: None,
+                issued_at_us: e.at_us,
+                enqueued_at_us: None,
+                started_at_us: None,
+                completed_at_us: None,
+                latency_us: None,
+                outcome: "in_flight",
+                replaced: 0,
+            });
+            if e.shard.is_some() {
+                entry.shard = e.shard;
+            }
+            match e.kind {
+                RequestEventKind::Arrival => entry.issued_at_us = e.at_us,
+                RequestEventKind::Enqueue => entry.enqueued_at_us = Some(e.at_us),
+                RequestEventKind::Replace { .. } => {
+                    entry.replaced += 1;
+                    entry.enqueued_at_us = Some(e.at_us);
+                }
+                RequestEventKind::ServiceStart => entry.started_at_us = Some(e.at_us),
+                RequestEventKind::Complete { latency_us } => {
+                    entry.completed_at_us = Some(e.at_us);
+                    entry.latency_us = Some(latency_us);
+                    entry.outcome = "completed";
+                }
+                RequestEventKind::Drop => entry.outcome = "dropped",
+                RequestEventKind::Shed => entry.outcome = "shed",
+                RequestEventKind::Lost { .. } => entry.outcome = "lost",
+                RequestEventKind::Admit => {}
+            }
+        }
+        let observed = by_id.len();
+        let mut completed: Vec<RequestTimeline> = Vec::new();
+        let mut failed: Vec<RequestTimeline> = Vec::new();
+        for t in by_id.into_values() {
+            if t.outcome == "completed" {
+                completed.push(t);
+            } else {
+                failed.push(t);
+            }
+        }
+        completed.sort_by(|a, b| {
+            b.latency_us
+                .cmp(&a.latency_us)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        completed.truncate(worst_k);
+        let mut timelines = completed;
+        timelines.extend(failed);
+        Self {
+            timelines,
+            observed,
+        }
+    }
+
+    /// Renders the retained timelines as a fixed-width postmortem table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight recorder: {} of {} request(s) retained\n",
+            self.timelines.len(),
+            self.observed
+        ));
+        out.push_str(&format!(
+            "{:>8} {:>7} {:>6} {:<12} {:>5} {:<9} {:>10} {:>10} {:>10} {:>10} {:>4}\n",
+            "id",
+            "session",
+            "branch",
+            "class",
+            "shard",
+            "outcome",
+            "issued_ms",
+            "start_ms",
+            "done_ms",
+            "latency_ms",
+            "repl"
+        ));
+        for t in &self.timelines {
+            let shard = t.shard.map_or("-".to_owned(), |s| s.to_string());
+            let start = t.started_at_us.map_or("-".to_owned(), ms);
+            let done = t.completed_at_us.map_or("-".to_owned(), ms);
+            let latency = t.latency_us.map_or("-".to_owned(), ms);
+            out.push_str(&format!(
+                "{:>8} {:>7} {:>6} {:<12} {:>5} {:<9} {:>10} {:>10} {:>10} {:>10} {:>4}\n",
+                t.id,
+                t.session,
+                t.branch,
+                t.class_name,
+                shard,
+                t.outcome,
+                ms(t.issued_at_us),
+                start,
+                done,
+                latency,
+                t.replaced
+            ));
+        }
+        out
+    }
+}
+
+/// Microseconds rendered as fixed three-decimal milliseconds.
+fn ms(us: u64) -> String {
+    format!("{:.3}", u64_to_f64(us) / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RequestEvent;
+
+    fn req(at_us: u64, id: u64, shard: Option<usize>, kind: RequestEventKind) -> TraceEvent {
+        TraceEvent::Request(RequestEvent {
+            at_us,
+            id,
+            session: 0,
+            branch: 0,
+            class: 1,
+            class_name: "standard",
+            shard,
+            kind,
+        })
+    }
+
+    fn completed(id: u64, latency_us: u64) -> Vec<TraceEvent> {
+        vec![
+            req(0, id, Some(0), RequestEventKind::Arrival),
+            req(0, id, Some(0), RequestEventKind::Enqueue),
+            req(10, id, Some(0), RequestEventKind::ServiceStart),
+            req(
+                latency_us,
+                id,
+                Some(0),
+                RequestEventKind::Complete { latency_us },
+            ),
+        ]
+    }
+
+    #[test]
+    fn keeps_worst_k_completions_and_all_failures() {
+        let mut events = Vec::new();
+        events.extend(completed(0, 5_000));
+        events.extend(completed(1, 9_000));
+        events.extend(completed(2, 1_000));
+        events.push(req(20, 3, Some(0), RequestEventKind::Arrival));
+        events.push(req(20, 3, Some(0), RequestEventKind::Drop));
+        let fr = FlightRecorder::from_events(&events, 2);
+        assert_eq!(fr.observed, 4);
+        assert_eq!(fr.timelines.len(), 3, "2 worst + 1 dropped");
+        assert_eq!(fr.timelines[0].id, 1, "worst latency first");
+        assert_eq!(fr.timelines[1].id, 0);
+        assert_eq!(fr.timelines[2].outcome, "dropped");
+    }
+
+    #[test]
+    fn replace_counts_and_outcomes_are_tracked() {
+        let events = vec![
+            req(0, 5, Some(1), RequestEventKind::Arrival),
+            req(0, 5, Some(1), RequestEventKind::Enqueue),
+            req(40, 5, Some(0), RequestEventKind::Replace { from_shard: 1 }),
+            req(50, 5, None, RequestEventKind::Lost { orphaned: true }),
+        ];
+        let fr = FlightRecorder::from_events(&events, 4);
+        assert_eq!(fr.timelines.len(), 1);
+        let t = &fr.timelines[0];
+        assert_eq!(t.replaced, 1);
+        assert_eq!(t.outcome, "lost");
+        assert_eq!(t.enqueued_at_us, Some(40));
+    }
+
+    #[test]
+    fn table_has_a_header_and_one_row_per_timeline() {
+        let fr = FlightRecorder::from_events(&completed(9, 2_500), 1);
+        let table = fr.to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "summary, header, one row");
+        assert!(lines[1].contains("latency_ms"));
+        assert!(lines[2].contains("completed"));
+        assert!(lines[2].contains("2.500"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The `Recorder` sink: keeps every event, in engine order.
+
+use crate::event::{BatchEvent, FleetEvent, RequestEvent, TraceEvent};
+use crate::sink::{TraceSink, TraceSummary};
+
+/// Records the full event stream of one run.
+///
+/// Events are stored exactly in delivery order, which the engine guarantees
+/// is deterministic for a fixed seed — so two recordings of the same
+/// scenario are element-for-element identical, and every exporter built on
+/// a `Recorder` inherits byte-identical output.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Vec<TraceEvent>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Request lifecycle events only, in delivery order.
+    pub fn request_events(&self) -> impl Iterator<Item = &RequestEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Request(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Batch dispatch events only, in delivery order.
+    pub fn batch_events(&self) -> impl Iterator<Item = &BatchEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Batch(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Fleet lifecycle events only, in delivery order.
+    pub fn fleet_events(&self) -> impl Iterator<Item = &FleetEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Fleet(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Event counts for the report's optional `trace_summary` field.
+    pub fn summary(&self) -> TraceSummary {
+        let mut summary = TraceSummary::default();
+        for event in &self.events {
+            summary.events += 1;
+            match event {
+                TraceEvent::Request(_) => summary.request_events += 1,
+                TraceEvent::Batch(_) => summary.batch_events += 1,
+                TraceEvent::Fleet(_) => summary.fleet_events += 1,
+            }
+        }
+        summary
+    }
+
+    /// Replays the recorded stream into another sink (e.g. a `Windowed`
+    /// aggregator), preserving delivery order.
+    pub fn replay(&self, sink: &mut dyn TraceSink) {
+        for event in &self.events {
+            sink.record(*event);
+        }
+    }
+}
+
+impl TraceSink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FleetEventKind, RequestEventKind};
+
+    fn sample() -> Recorder {
+        let mut rec = Recorder::new();
+        rec.record(TraceEvent::Request(RequestEvent {
+            at_us: 1,
+            id: 0,
+            session: 0,
+            branch: 0,
+            class: 1,
+            class_name: "standard",
+            shard: Some(0),
+            kind: RequestEventKind::Arrival,
+        }));
+        rec.record(TraceEvent::Batch(BatchEvent {
+            at_us: 2,
+            shard: 0,
+            branch: 0,
+            len: 1,
+            service_us: 5,
+        }));
+        rec.record(TraceEvent::Fleet(FleetEvent {
+            at_us: 3,
+            shard: 1,
+            kind: FleetEventKind::Up,
+            active_after: 1,
+        }));
+        rec
+    }
+
+    #[test]
+    fn records_in_order_and_summarises_by_kind() {
+        let rec = sample();
+        assert_eq!(rec.len(), 3);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.request_events().count(), 1);
+        assert_eq!(rec.batch_events().count(), 1);
+        assert_eq!(rec.fleet_events().count(), 1);
+        let summary = rec.summary();
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.request_events, 1);
+        assert_eq!(summary.batch_events, 1);
+        assert_eq!(summary.fleet_events, 1);
+    }
+
+    #[test]
+    fn replay_reproduces_the_stream() {
+        let rec = sample();
+        let mut copy = Recorder::new();
+        rec.replay(&mut copy);
+        assert_eq!(rec.events(), copy.events());
+    }
+}

@@ -1,0 +1,59 @@
+//! The `TraceSink` trait and the zero-cost default.
+
+use crate::event::TraceEvent;
+
+/// Receives engine events as they happen, in deterministic engine order.
+///
+/// The engine checks [`TraceSink::enabled`] once per run and skips every
+/// event construction when it returns `false`, so a disabled sink costs a
+/// single branch per emission site — no allocation, no behavior change.
+pub trait TraceSink {
+    /// Whether the engine should construct and deliver events at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Delivers one event. Default: discard.
+    fn record(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+/// The default sink: tracing off, zero allocations, zero behavior change.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Off;
+
+impl TraceSink for Off {}
+
+/// Event counts summarising one recorded run, suitable for appending to a
+/// `ServeReport` JSON line as an optional `trace_summary` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Total events recorded.
+    pub events: u64,
+    /// Request lifecycle events.
+    pub request_events: u64,
+    /// Batch dispatch events.
+    pub batch_events: u64,
+    /// Fleet lifecycle events.
+    pub fleet_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BatchEvent, TraceEvent};
+
+    #[test]
+    fn off_is_disabled_and_discards() {
+        let mut off = Off;
+        assert!(!off.enabled());
+        off.record(TraceEvent::Batch(BatchEvent {
+            at_us: 0,
+            shard: 0,
+            branch: 0,
+            len: 1,
+            service_us: 1,
+        }));
+    }
+}

@@ -129,6 +129,31 @@ impl AdmissionKind {
     }
 }
 
+/// Consults `controller` and mirrors its verdict onto the trace: an
+/// `Admit` or `Shed` event stamped with the chosen shard. `Shed` doubles
+/// as the request's terminal event — a shed request never enters a queue,
+/// so nothing else can happen to it.
+pub(crate) fn admit_traced(
+    controller: &mut dyn AdmissionController,
+    request: &Request,
+    view: &AdmissionView,
+    now_us: u64,
+    shard: usize,
+    sink: &mut dyn fcad_obs::TraceSink,
+    tracing: bool,
+) -> bool {
+    let admitted = controller.admit(request, view, now_us);
+    if tracing {
+        let kind = if admitted {
+            fcad_obs::RequestEventKind::Admit
+        } else {
+            fcad_obs::RequestEventKind::Shed
+        };
+        sink.record(request.trace(now_us, Some(shard), kind));
+    }
+    admitted
+}
+
 /// Admit everything; the bounded queue alone sheds load (by dropping
 /// whoever arrives at a full queue). The legacy engine, bit for bit.
 #[derive(Debug, Clone, Copy, Default)]

@@ -100,6 +100,20 @@ impl ScaleEventKind {
             ScaleEventKind::Fail => "fail",
         }
     }
+
+    /// The trace-timeline mirror of this kind: every scale event the
+    /// report logs is also emitted as an instant on the trace, so
+    /// autoscale decisions line up visually with the latency series they
+    /// caused.
+    pub(crate) fn fleet_kind(self) -> fcad_obs::FleetEventKind {
+        match self {
+            ScaleEventKind::Up => fcad_obs::FleetEventKind::Up,
+            ScaleEventKind::Warm => fcad_obs::FleetEventKind::Warm,
+            ScaleEventKind::Drain => fcad_obs::FleetEventKind::Drain,
+            ScaleEventKind::Retire => fcad_obs::FleetEventKind::Retire,
+            ScaleEventKind::Fail => fcad_obs::FleetEventKind::Fail,
+        }
+    }
 }
 
 /// One entry of the report's fleet-lifecycle log: together the entries give

@@ -36,7 +36,9 @@
 
 use std::collections::VecDeque;
 
-use crate::admission::{AdmissionController, AdmissionKind, AdmissionView};
+use fcad_obs::{BatchEvent, FleetEvent, Off, RequestEventKind, TraceEvent, TraceSink};
+
+use crate::admission::{admit_traced, AdmissionController, AdmissionKind, AdmissionView};
 use crate::autoscale::{
     Autoscaler, FailurePlan, KillTarget, ScaleEvent, ScaleEventKind, ShardState,
 };
@@ -130,6 +132,7 @@ pub fn simulate_fleet_qos(
         &Autoscaler::none(),
         &FailurePlan::none(),
         controller.as_mut(),
+        &mut Off,
     )
 }
 
@@ -154,6 +157,7 @@ pub fn simulate_fleet_with<'a>(
         &Autoscaler::none(),
         &FailurePlan::none(),
         controller.as_mut(),
+        &mut Off,
     )
 }
 
@@ -208,6 +212,41 @@ pub fn simulate_autoscaled_qos(
         policy,
         failures,
         controller.as_mut(),
+        &mut Off,
+    )
+}
+
+/// The fully observable entry point: the full serving stack —
+/// QoS classes, admission shedding, autoscaling and failure injection —
+/// with every engine event delivered to `sink`.
+///
+/// Instrumentation is observation-only: any sink (including the
+/// always-recording [`fcad_obs::Recorder`]) produces a report
+/// byte-identical to [`simulate_autoscaled_qos`] with the same inputs,
+/// and under [`Autoscaler::none`] plus [`FailurePlan::none`] to
+/// [`simulate_fleet_qos`], bit for bit. With the default
+/// [`fcad_obs::Off`] sink the run *is* [`simulate_autoscaled_qos`].
+pub fn simulate_traced(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+    admission: AdmissionKind,
+    sink: &mut dyn TraceSink,
+) -> ServeReport {
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        (0..config.shard_count()).map(|_| kind.build()).collect();
+    let mut controller = admission.build();
+    run(
+        config,
+        scenario,
+        schedulers,
+        Some(kind),
+        policy,
+        failures,
+        controller.as_mut(),
+        sink,
     )
 }
 
@@ -343,7 +382,10 @@ fn alive_count(shards: &[Shard]) -> usize {
 /// The lifecycle-driven event loop shared by every entry point. `spawn`
 /// is the discipline new shards are built with; `None` (the fixed-fleet
 /// paths) makes scale-up impossible, which the no-op policy guarantees
-/// never to request.
+/// never to request. `sink` observes the run: with a disabled sink every
+/// emission site reduces to one untaken branch, so an untraced run is
+/// bit-identical to a pre-observability one.
+#[allow(clippy::too_many_arguments)]
 fn run<'a>(
     config: &FleetConfig,
     scenario: &Scenario,
@@ -352,6 +394,7 @@ fn run<'a>(
     policy: &Autoscaler,
     failures: &FailurePlan,
     admission: &mut dyn AdmissionController,
+    sink: &mut dyn TraceSink,
 ) -> ServeReport {
     // Hand-built or deserialized configs can reach this point without ever
     // passing through `uniform`/`heterogeneous`; re-check their invariants.
@@ -367,6 +410,9 @@ fn run<'a>(
     let arrivals = scenario.generate(branch_count);
     let mut balancer = Balancer::new(config.balancer);
     let capacity = scenario.queue_capacity;
+    // Checked once: every emission below is guarded, so the Off sink costs
+    // one predictable branch per site and zero allocations.
+    let tracing = sink.enabled();
 
     // Per-shard runtime state, indexed by global shard id (spawn order;
     // the initial shards keep their config order). Scenario priority
@@ -522,6 +568,8 @@ fn run<'a>(
                         now_us,
                         ScaleEventKind::Fail,
                         victim,
+                        sink,
+                        tracing,
                     );
                     // Orphan the dead shard's queue in its scheduler's own
                     // dispatch order. Re-placed requests keep their
@@ -558,6 +606,8 @@ fn run<'a>(
                                 &mut lifecycle,
                                 &mut push_event,
                                 &mut scale_events,
+                                sink,
+                                tracing,
                             );
                             last_scale_up = Some(now_us);
                         }
@@ -574,12 +624,26 @@ fn run<'a>(
                         if loads.is_empty() {
                             lost[request.branch] += 1;
                             class_lost[request.class.index()] += 1;
+                            if tracing {
+                                sink.record(request.trace(
+                                    now_us,
+                                    None,
+                                    RequestEventKind::Lost { orphaned: true },
+                                ));
+                            }
                             continue;
                         }
                         let dst = balancer.place(&request, &loads, now_us, capacity);
                         if shards[dst].scheduler.queued() >= capacity {
                             lost[request.branch] += 1;
                             class_lost[request.class.index()] += 1;
+                            if tracing {
+                                sink.record(request.trace(
+                                    now_us,
+                                    None,
+                                    RequestEventKind::Lost { orphaned: true },
+                                ));
+                            }
                             continue;
                         }
                         let target = &mut shards[dst];
@@ -604,6 +668,13 @@ fn run<'a>(
                         balancer.note_admitted(request.session, dst);
                         target.issued += 1;
                         replaced += 1;
+                        if tracing {
+                            sink.record(request.trace(
+                                now_us,
+                                Some(dst),
+                                RequestEventKind::Replace { from_shard: victim },
+                            ));
+                        }
                     }
                 }
                 Action::Drain => {
@@ -622,9 +693,11 @@ fn run<'a>(
                         now_us,
                         ScaleEventKind::Drain,
                         shard,
+                        sink,
+                        tracing,
                     );
                     if shards[shard].scheduler.queued() == 0 {
-                        retire(&mut shards, &mut scale_events, now_us, shard);
+                        retire(&mut shards, &mut scale_events, now_us, shard, sink, tracing);
                     }
                 }
                 Action::Warm => {
@@ -641,6 +714,8 @@ fn run<'a>(
                             now_us,
                             ScaleEventKind::Warm,
                             shard,
+                            sink,
+                            tracing,
                         );
                     }
                 }
@@ -673,7 +748,7 @@ fn run<'a>(
                     }
                     // Idle retirement skips the Draining phase outright:
                     // the queue is empty, so the shard leaves in one step.
-                    retire(&mut shards, &mut scale_events, now_us, shard);
+                    retire(&mut shards, &mut scale_events, now_us, shard, sink, tracing);
                 }
             }
         } else if arrival_at <= dispatch_at {
@@ -690,14 +765,22 @@ fn run<'a>(
             if loads.is_empty() {
                 lost[request.branch] += 1;
                 class_lost[request.class.index()] += 1;
+                if tracing {
+                    sink.record(request.trace(now_us, None, RequestEventKind::Arrival));
+                    sink.record(request.trace(
+                        now_us,
+                        None,
+                        RequestEventKind::Lost { orphaned: false },
+                    ));
+                }
                 continue;
             }
-            let shard = balancer.place(&request, &loads, now_us, capacity);
+            let shard = balancer.place_traced(&request, &loads, now_us, capacity, sink, tracing);
             let target = &mut shards[shard];
             target.issued += 1;
             let single_us = target.model.batch_service_us(request.branch, 1);
             let view = target.admission_view(capacity, single_us, request.branch);
-            if !admission.admit(&request, &view, now_us) {
+            if !admit_traced(admission, &request, &view, now_us, shard, sink, tracing) {
                 shed[request.branch] += 1;
                 class_shed[request.class.index()] += 1;
                 target.shed += 1;
@@ -705,6 +788,9 @@ fn run<'a>(
                 dropped[request.branch] += 1;
                 class_dropped[request.class.index()] += 1;
                 target.dropped += 1;
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::Drop));
+                }
             } else {
                 if target.scheduler.queued() == 0 {
                     target.pending_since_us = now_us;
@@ -713,6 +799,9 @@ fn run<'a>(
                 target.class_backlog_us[request.class.index()] += single_us;
                 target.scheduler.enqueue(request, now_us);
                 balancer.note_admitted(request.session, shard);
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::Enqueue));
+                }
             }
             // Queue-pressure scale-up: mean depth across active shards.
             if let Some(kind) = spawn.filter(|_| policy.scale_up_queue_depth > 0) {
@@ -735,6 +824,8 @@ fn run<'a>(
                         &mut lifecycle,
                         &mut push_event,
                         &mut scale_events,
+                        sink,
+                        tracing,
                     );
                     last_scale_up = Some(now_us);
                 }
@@ -757,8 +848,25 @@ fn run<'a>(
                 (batch, service_us, now_us + service_us)
             };
             shards[shard].busy_us += service_us;
+            if tracing {
+                sink.record(TraceEvent::Batch(BatchEvent {
+                    at_us: now_us,
+                    shard,
+                    branch: batch[0].branch,
+                    len: batch.len(),
+                    service_us,
+                }));
+            }
             for request in &batch {
                 let latency_us = request.latency_us(done_us);
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::ServiceStart));
+                    sink.record(request.trace(
+                        done_us,
+                        Some(shard),
+                        RequestEventKind::Complete { latency_us },
+                    ));
+                }
                 branch_histograms[request.branch].record(latency_us);
                 completed[request.branch] += 1;
                 let class = request.class.index();
@@ -791,7 +899,14 @@ fn run<'a>(
             shards[shard].pending_since_us = 0;
             if shards[shard].phase == ShardState::Draining && shards[shard].scheduler.queued() == 0
             {
-                retire(&mut shards, &mut scale_events, done_us, shard);
+                retire(
+                    &mut shards,
+                    &mut scale_events,
+                    done_us,
+                    shard,
+                    sink,
+                    tracing,
+                );
             } else if shards[shard].phase == ShardState::Active
                 && shards[shard].scheduler.queued() == 0
                 && policy.idle_retire_us > 0
@@ -826,6 +941,8 @@ fn run<'a>(
                         &mut lifecycle,
                         &mut push_event,
                         &mut scale_events,
+                        sink,
+                        tracing,
                     );
                     last_scale_up = Some(done_us);
                 }
@@ -1003,6 +1120,7 @@ fn run<'a>(
         admission: admission.name().to_owned(),
         slo_attainment: attainment(total_within, total_completed),
         classes,
+        trace_summary: None,
     }
 }
 
@@ -1037,25 +1155,54 @@ fn collect_placeable(loads: &mut Vec<(usize, ShardLoad)>, shards: &[Shard]) {
 
 /// Decommissions a shard (from Draining, or straight from Active on idle
 /// retirement — its queue is already empty) and logs the retirement.
-fn retire(shards: &mut [Shard], events: &mut Vec<ScaleEvent>, at_us: u64, shard: usize) {
+fn retire(
+    shards: &mut [Shard],
+    events: &mut Vec<ScaleEvent>,
+    at_us: u64,
+    shard: usize,
+    sink: &mut dyn TraceSink,
+    tracing: bool,
+) {
     shards[shard].phase = ShardState::Retired;
-    record(events, shards, at_us, ScaleEventKind::Retire, shard);
+    record(
+        events,
+        shards,
+        at_us,
+        ScaleEventKind::Retire,
+        shard,
+        sink,
+        tracing,
+    );
 }
 
-/// Appends a scale event with the post-event active-shard count.
+/// Appends a scale event with the post-event active-shard count, mirrored
+/// as an instant on the trace timeline so fleet transitions line up with
+/// the request spans they explain.
+#[allow(clippy::too_many_arguments)]
 fn record(
     events: &mut Vec<ScaleEvent>,
     shards: &[Shard],
     at_us: u64,
     kind: ScaleEventKind,
     shard: usize,
+    sink: &mut dyn TraceSink,
+    tracing: bool,
 ) {
+    let active_after = active_count(shards);
     events.push(ScaleEvent {
         at_sec: u64_to_f64(at_us) / 1e6,
         kind,
         shard,
-        active_after: active_count(shards),
+        active_after,
     });
+    if tracing {
+        sink.record(TraceEvent::Fleet(FleetEvent {
+            at_us,
+            shard,
+            kind: kind.fleet_kind(),
+            active_after,
+        }));
+    }
 }
 
 /// Spawns one warming shard cloned from shard 0's service model and
@@ -1063,6 +1210,7 @@ fn record(
 /// shard dispatches nothing until the `Warm` event fires — the warm-up
 /// handler raises `free_at_us` to the warm instant, so even work queued
 /// while warming cannot complete before the weight fill ends.
+#[allow(clippy::too_many_arguments)]
 fn do_spawn<'a>(
     now_us: u64,
     kind: SchedulerKind,
@@ -1071,6 +1219,8 @@ fn do_spawn<'a>(
     lifecycle: &mut Vec<Lifecycle>,
     push_event: &mut impl FnMut(&mut Vec<Lifecycle>, u64, usize, Action),
     scale_events: &mut Vec<ScaleEvent>,
+    sink: &mut dyn TraceSink,
+    tracing: bool,
 ) {
     let shard = shards.len();
     let template = shards[0].model.clone();
@@ -1085,7 +1235,15 @@ fn do_spawn<'a>(
             Action::IdleCheck,
         );
     }
-    record(scale_events, shards, now_us, ScaleEventKind::Up, shard);
+    record(
+        scale_events,
+        shards,
+        now_us,
+        ScaleEventKind::Up,
+        shard,
+        sink,
+        tracing,
+    );
 }
 
 #[cfg(test)]

@@ -229,6 +229,26 @@ impl Balancer {
         }
     }
 
+    /// [`Balancer::place`] plus the arrival trace event: the placement
+    /// decision is the first thing that happens to a request, so the
+    /// balancer is where its `Arrival` event (stamped with the chosen
+    /// shard) enters the trace.
+    pub(crate) fn place_traced(
+        &mut self,
+        request: &Request,
+        shards: &[(usize, ShardLoad)],
+        now_us: u64,
+        capacity: usize,
+        sink: &mut dyn fcad_obs::TraceSink,
+        tracing: bool,
+    ) -> usize {
+        let shard = self.place(request, shards, now_us, capacity);
+        if tracing {
+            sink.record(request.trace(now_us, Some(shard), fcad_obs::RequestEventKind::Arrival));
+        }
+        shard
+    }
+
     /// Records a successful admission so affinity follows the shard that
     /// last served the session's identity.
     pub(crate) fn note_admitted(&mut self, session: usize, shard: usize) {

@@ -50,6 +50,17 @@
 //!   fraction of completions inside their class budget,
 //!   [`ClassServeStats`]) and a merged fleet-wide latency histogram,
 //!   rendered as a single machine-readable JSON line.
+//! - **Observability** ([`TraceSink`], [`simulate_traced`]): the same
+//!   loop narrates itself through a pluggable, sim-time-stamped trace
+//!   sink — per-request lifecycle events (arrival through terminal
+//!   outcome), batch dispatches and fleet lifecycle instants. The
+//!   default [`Off`] sink records nothing and changes nothing; a
+//!   [`Recorder`] feeds the exporters re-exported from `fcad-obs`:
+//!   Chrome `trace_event` JSON ([`chrome_trace`]), fixed-interval
+//!   time-series metrics ([`Windowed`]) and a worst-latency flight
+//!   recorder ([`FlightRecorder`]). Tracing is observation-only:
+//!   traced and untraced runs of the same scenario produce
+//!   byte-identical reports.
 //!
 //! # Example
 //!
@@ -95,7 +106,7 @@ pub use admission::{
 pub use autoscale::{Autoscaler, FailurePlan, ScaleEvent, ScaleEventKind, ShardState};
 pub use engine::{
     simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
-    simulate_fleet_with, simulate_qos, simulate_with,
+    simulate_fleet_with, simulate_qos, simulate_traced, simulate_with,
 };
 pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
@@ -105,3 +116,13 @@ pub use report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport,
 pub use request::Request;
 pub use scenario::{ArrivalPattern, Scenario};
 pub use scheduler::{BatchScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind};
+
+// Observability surface, re-exported from `fcad-obs` so traced serving
+// needs only this crate: the sink trait and its implementations, the
+// event taxonomy, and the exporters (Chrome trace, windowed metrics,
+// flight recorder).
+pub use fcad_obs::{
+    chrome_trace, validate_json, BatchEvent, FleetEvent, FleetEventKind, FlightRecorder,
+    MetricsSeries, MetricsWindow, Off, Recorder, RequestEvent, RequestEventKind, RequestTimeline,
+    TraceEvent, TraceSink, TraceSummary, Windowed,
+};

@@ -6,6 +6,7 @@ use crate::cast::usize_to_u64;
 use crate::histogram::LatencyHistogram;
 use crate::json::{array, JsonObject};
 use crate::qos::QosClass;
+use fcad_obs::TraceSummary;
 use serde::{Deserialize, Serialize};
 
 /// Latency summary extracted from a fixed-bucket histogram, milliseconds.
@@ -187,6 +188,13 @@ pub struct ServeReport {
     /// Per-class statistics, in [`QosClass::all`] order (a classless run
     /// carries everything in the `standard` row).
     pub classes: Vec<ClassServeStats>,
+    /// Event counts of the trace captured alongside this run, when the
+    /// caller attached a recording sink via [`with_trace_summary`]
+    /// (`None` otherwise — the engine itself never sets it, so traced and
+    /// untraced runs of the same scenario stay byte-identical).
+    ///
+    /// [`with_trace_summary`]: ServeReport::with_trace_summary
+    pub trace_summary: Option<TraceSummary>,
 }
 
 impl ServeReport {
@@ -233,6 +241,13 @@ impl ServeReport {
     /// Statistics of one QoS class.
     pub fn class(&self, class: QosClass) -> Option<&ClassServeStats> {
         self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Attaches the summary of the trace recorded alongside this run, so
+    /// the JSON line documents how many events the sink captured.
+    pub fn with_trace_summary(mut self, summary: TraceSummary) -> Self {
+        self.trace_summary = Some(summary);
+        self
     }
 
     /// Renders the report as one machine-readable JSON line. New fields
@@ -307,7 +322,15 @@ impl ServeReport {
                     .render()
             })
             .collect();
-        JsonObject::new()
+        let trace_summary = self.trace_summary.as_ref().map(|t| {
+            JsonObject::new()
+                .u64("events", t.events)
+                .u64("request_events", t.request_events)
+                .u64("batch_events", t.batch_events)
+                .u64("fleet_events", t.fleet_events)
+                .render()
+        });
+        let mut line = JsonObject::new()
             .str("scenario", &self.scenario)
             .str("scheduler", &self.scheduler)
             .str("balancer", &self.balancer)
@@ -337,8 +360,13 @@ impl ServeReport {
             .u64("shed", self.shed)
             .str("admission", &self.admission)
             .f64("slo_attainment", self.slo_attainment)
-            .raw("classes", &array(&classes))
-            .render()
+            .raw("classes", &array(&classes));
+        // Optional tail: appended strictly after every unconditional key,
+        // so untraced lines are byte-identical to the pre-tracing format.
+        if let Some(trace) = trace_summary {
+            line = line.raw("trace_summary", &trace);
+        }
+        line.render()
     }
 }
 
@@ -391,6 +419,7 @@ mod tests {
             admission: "admit_all".into(),
             slo_attainment: 1.0,
             classes: standard_only_classes(10, 9, 1, 0, 0),
+            trace_summary: None,
         }
     }
 
@@ -546,6 +575,27 @@ mod tests {
         assert!(r.conserves_requests());
         r.shards[0].shed = 1;
         assert!(!r.conserves_requests(), "shard shed must match its books");
+    }
+
+    #[test]
+    fn trace_summary_is_absent_by_default_and_renders_last() {
+        let line = report().to_json_line();
+        assert!(
+            !line.contains("trace_summary"),
+            "untraced reports must not mention the trace at all"
+        );
+        let traced = report()
+            .with_trace_summary(TraceSummary {
+                events: 42,
+                request_events: 30,
+                batch_events: 10,
+                fleet_events: 2,
+            })
+            .to_json_line();
+        assert!(traced.ends_with(
+            "\"trace_summary\":{\"events\":42,\"request_events\":30,\
+             \"batch_events\":10,\"fleet_events\":2}}"
+        ));
     }
 
     #[test]

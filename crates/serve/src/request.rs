@@ -36,6 +36,27 @@ impl Request {
         done_us.saturating_sub(self.issued_at_us)
     }
 
+    /// Builds the trace event describing what happened to this request at
+    /// `at_us` — the one place a `Request` is flattened into the
+    /// observability key `(id, session, branch, class, shard)`.
+    pub(crate) fn trace(
+        &self,
+        at_us: u64,
+        shard: Option<usize>,
+        kind: fcad_obs::RequestEventKind,
+    ) -> fcad_obs::TraceEvent {
+        fcad_obs::TraceEvent::Request(fcad_obs::RequestEvent {
+            at_us,
+            id: self.id,
+            session: self.session,
+            branch: self.branch,
+            class: self.class.index(),
+            class_name: self.class.name(),
+            shard,
+            kind,
+        })
+    }
+
     /// Whether completing at `done_us` meets this request's class budget.
     pub fn meets_slo(&self, done_us: u64) -> bool {
         self.latency_us(done_us) <= self.class.budget_us()

@@ -2,7 +2,8 @@
 //! target uses every helper, hence the `dead_code` allowances.
 
 use fcad_serve::{
-    AdmissionKind, ArrivalPattern, BranchService, ClassMix, Scenario, SchedulerKind, ServiceModel,
+    AdmissionKind, ArrivalPattern, BranchService, ClassMix, RequestEventKind, Scenario,
+    SchedulerKind, ServeReport, ServiceModel, TraceEvent,
 };
 use proptest::prelude::*;
 
@@ -88,6 +89,169 @@ pub fn class_mix_strategy() -> impl Strategy<Value = ClassMix> {
         Just(ClassMix::new(0.8, 0.0, 0.2)),
         Just(ClassMix::new(0.0, 0.0, 1.0)),
     ]
+}
+
+/// Audits a recorded trace against the report of the same run: the trace
+/// must tell the same story as the counters. Checks
+///
+/// - one `Arrival` per issued request, one `Replace` per re-placement;
+/// - terminal events (`Complete`/`Drop`/`Lost`/`Shed`) match the report's
+///   completed/dropped/lost/shed — fleet-wide, per branch, per class, and
+///   (for the shard-attributed outcomes) per shard;
+/// - every batch dispatch lands inside its shard's live lifecycle
+///   interval: after the warm-up of a spawned shard, before any
+///   failure/retirement;
+/// - the fleet events on the trace are exactly the report's
+///   `scale_events`, timestamp included.
+///
+/// Panics with a labelled assertion on the first violation.
+#[allow(dead_code)]
+pub fn check_trace_against_report(events: &[TraceEvent], report: &ServeReport) {
+    let branches = report.branches.len();
+    let classes = report.classes.len();
+    let shards = report.shards.len();
+    let mut arrivals = 0u64;
+    let mut replaces = 0u64;
+    // Terminal tallies: [completed, dropped, lost, shed] per dimension.
+    let mut fleet = [0u64; 4];
+    let mut per_branch = vec![[0u64; 4]; branches];
+    let mut per_class = vec![[0u64; 4]; classes];
+    let mut per_shard = vec![[0u64; 4]; shards];
+    for event in events {
+        let TraceEvent::Request(e) = event else {
+            continue;
+        };
+        assert!(e.branch < branches, "branch index out of range");
+        assert!(e.class < classes, "class index out of range");
+        let outcome = match e.kind {
+            RequestEventKind::Arrival => {
+                arrivals += 1;
+                continue;
+            }
+            RequestEventKind::Replace { from_shard } => {
+                assert_ne!(Some(from_shard), e.shard, "replace must change shards");
+                replaces += 1;
+                continue;
+            }
+            RequestEventKind::Complete { .. } => 0,
+            RequestEventKind::Drop => 1,
+            RequestEventKind::Lost { .. } => 2,
+            RequestEventKind::Shed => 3,
+            _ => continue,
+        };
+        fleet[outcome] += 1;
+        per_branch[e.branch][outcome] += 1;
+        per_class[e.class][outcome] += 1;
+        match e.shard {
+            Some(shard) => {
+                assert!(shard < shards, "shard index out of range");
+                per_shard[shard][outcome] += 1;
+            }
+            None => assert_eq!(outcome, 2, "only lost requests belong to no shard"),
+        }
+    }
+    assert_eq!(arrivals, report.issued, "one Arrival per issued request");
+    assert_eq!(replaces, report.replaced, "one Replace per re-placement");
+    let expect_fleet = [report.completed, report.dropped, report.lost, report.shed];
+    assert_eq!(fleet, expect_fleet, "fleet-wide terminal counts");
+    for (index, branch) in report.branches.iter().enumerate() {
+        assert_eq!(
+            per_branch[index],
+            [branch.completed, branch.dropped, branch.lost, branch.shed],
+            "branch {index} terminal counts"
+        );
+    }
+    for (index, class) in report.classes.iter().enumerate() {
+        assert_eq!(
+            per_class[index],
+            [class.completed, class.dropped, class.lost, class.shed],
+            "class {index} terminal counts"
+        );
+    }
+    for (index, shard) in report.shards.iter().enumerate() {
+        // Lost requests are attributed to no shard, so the shard row has
+        // no lost term to compare.
+        assert_eq!(
+            [
+                per_shard[index][0],
+                per_shard[index][1],
+                per_shard[index][3]
+            ],
+            [shard.completed, shard.dropped, shard.shed],
+            "shard {index} terminal counts"
+        );
+        assert_eq!(per_shard[index][2], 0, "no lost event names a shard");
+    }
+
+    // Lifecycle intervals: a spawned shard dispatches only once warm, and
+    // no shard dispatches at or after its failure/retirement instant.
+    let mut warm_at = vec![None; shards];
+    let mut dead_at = vec![None; shards];
+    let mut fleet_seen = Vec::new();
+    for event in events {
+        let TraceEvent::Fleet(f) = event else {
+            continue;
+        };
+        match f.kind {
+            fcad_serve::FleetEventKind::Warm => warm_at[f.shard] = Some(f.at_us),
+            fcad_serve::FleetEventKind::Fail | fcad_serve::FleetEventKind::Retire => {
+                dead_at[f.shard] = Some(f.at_us);
+            }
+            _ => {}
+        }
+        fleet_seen.push((f.at_us, f.kind.name(), f.shard, f.active_after));
+    }
+    let mut up_at = vec![None; shards];
+    for event in events {
+        if let TraceEvent::Fleet(f) = event {
+            if f.kind == fcad_serve::FleetEventKind::Up {
+                up_at[f.shard] = Some(f.at_us);
+            }
+        }
+    }
+    for event in events {
+        let TraceEvent::Batch(b) = event else {
+            continue;
+        };
+        if let Some(spawned) = up_at[b.shard] {
+            let warm = warm_at[b.shard]
+                .unwrap_or_else(|| panic!("shard {} dispatched but never warmed", b.shard));
+            assert!(spawned <= warm, "warm-up follows the spawn");
+            assert!(
+                b.at_us >= warm,
+                "shard {} dispatched at {} µs before its warm-up at {} µs",
+                b.shard,
+                b.at_us,
+                warm
+            );
+        }
+        if let Some(dead) = dead_at[b.shard] {
+            assert!(
+                b.at_us < dead,
+                "shard {} dispatched at {} µs at/after its death at {} µs",
+                b.shard,
+                b.at_us,
+                dead
+            );
+        }
+    }
+
+    // The fleet events mirror the scale-event log one-for-one (the log is
+    // re-sorted by time at report assembly, so compare as multisets).
+    let mut scale_log: Vec<(u64, &str, usize, usize)> = report
+        .scale_events
+        .iter()
+        .map(|e| {
+            let at_us = (e.at_sec * 1e6).round() as u64;
+            (at_us, e.kind.name(), e.shard, e.active_after)
+        })
+        .collect();
+    scale_log.sort_unstable();
+    fleet_seen.sort_unstable();
+    assert_eq!(
+        fleet_seen, scale_log,
+        "trace fleet events must mirror scale_events"
+    );
 }
 
 /// One-second scenario from randomized property-test parameters.

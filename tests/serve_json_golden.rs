@@ -134,6 +134,7 @@ fn report() -> ServeReport {
         admission: "admit_all".into(),
         slo_attainment: 0.9,
         classes: standard_only_classes(100, 90, 10, 0, 0.9),
+        trace_summary: None,
     }
 }
 
@@ -245,6 +246,7 @@ fn autoscaled_report() -> ServeReport {
         admission: "admit_all".into(),
         slo_attainment: 0.75,
         classes: standard_only_classes(100, 86, 4, 10, 0.75),
+        trace_summary: None,
     }
 }
 
@@ -370,6 +372,7 @@ fn qos_report() -> ServeReport {
                 },
             },
         ],
+        trace_summary: None,
     }
 }
 
