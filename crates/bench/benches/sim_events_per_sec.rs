@@ -1,0 +1,122 @@
+//! Pins the engine rebuild's throughput: simulated events per wall-clock
+//! second for the frozen pre-rebuild loop (`fcad_serve::reference`), the
+//! calendar-driven engine and the parallel shard engine, on the fleet
+//! suite at 64 shards (where the reference's per-iteration linear scans
+//! dominate) plus a downscaled metropolis. Each comparison prints a
+//! machine-readable JSON line with the measured events/sec and the
+//! speedup over the reference — CI uploads this output as an artifact.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcad_serve::{
+    reference, simulate_fleet, simulate_fleet_parallel, BranchService, FleetConfig, Scenario,
+    SchedulerKind, ServeReport, ServiceModel,
+};
+
+const SHARDS: usize = 64;
+const PARALLEL_WORKERS: usize = 8;
+
+/// The three-branch bench model (no DSE run needed): two visual branches
+/// and a cheap low-priority audio-like branch, the same shape the test
+/// suites use.
+fn model() -> ServiceModel {
+    ServiceModel {
+        branches: vec![
+            BranchService {
+                name: "geometry".to_owned(),
+                frame_time_us: 9_000,
+                fill_time_us: 8_000,
+                max_batch: 1,
+                priority: 1.0,
+            },
+            BranchService {
+                name: "texture".to_owned(),
+                frame_time_us: 5_000,
+                fill_time_us: 7_000,
+                max_batch: 2,
+                priority: 1.0,
+            },
+            BranchService {
+                name: "audio".to_owned(),
+                frame_time_us: 1_500,
+                fill_time_us: 2_000,
+                max_batch: 4,
+                priority: 0.2,
+            },
+        ],
+    }
+}
+
+/// Simulated events of one run: every arrival plus every completion.
+fn sim_events(report: &ServeReport) -> u64 {
+    report.issued + report.completed
+}
+
+fn timed<F: FnMut() -> ServeReport>(mut run: F) -> (f64, ServeReport) {
+    let start = Instant::now();
+    let report = run();
+    (start.elapsed().as_secs_f64().max(1e-9), report)
+}
+
+fn print_comparison(scenario: &str, events: u64, reference_sec: f64, engine: &str, sec: f64) {
+    println!(
+        "{{\"bench\":\"sim_events_per_sec\",\"scenario\":\"{scenario}\",\"engine\":\"{engine}\",\
+         \"sim_events\":{events},\"events_per_sec\":{:.0},\"speedup_vs_reference\":{:.2}}}",
+        events as f64 / sec,
+        reference_sec / sec,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let model = model();
+    let kind = SchedulerKind::BatchAggregating;
+    for scenario in Scenario::fleet_suite(SHARDS) {
+        let config = FleetConfig::uniform(model.clone(), SHARDS);
+        let (ref_sec, ref_report) = timed(|| reference::simulate_fleet(&config, &scenario, kind));
+        let (seq_sec, seq_report) = timed(|| simulate_fleet(&config, &scenario, kind));
+        let (par_sec, par_report) =
+            timed(|| simulate_fleet_parallel(&config, &scenario, kind, PARALLEL_WORKERS));
+        assert_eq!(ref_report.to_json_line(), seq_report.to_json_line());
+        assert_eq!(ref_report.to_json_line(), par_report.to_json_line());
+        let events = sim_events(&ref_report);
+        print_comparison(&scenario.name, events, ref_sec, "reference", ref_sec);
+        print_comparison(&scenario.name, events, ref_sec, "rebuilt", seq_sec);
+        print_comparison(&scenario.name, events, ref_sec, "parallel8", par_sec);
+        c.bench_function(&format!("sim_events/{}/reference", scenario.name), |b| {
+            b.iter(|| reference::simulate_fleet(&config, &scenario, kind))
+        });
+        c.bench_function(&format!("sim_events/{}/rebuilt", scenario.name), |b| {
+            b.iter(|| simulate_fleet(&config, &scenario, kind))
+        });
+        c.bench_function(&format!("sim_events/{}/parallel8", scenario.name), |b| {
+            b.iter(|| simulate_fleet_parallel(&config, &scenario, kind, PARALLEL_WORKERS))
+        });
+    }
+
+    // Metropolis, downscaled so the reference loop stays affordable in one
+    // bench run; the full 1.05 M-session workload lives in the release
+    // scale test (`tests/engine_scale.rs`).
+    let metropolis = Scenario::metropolis().with_sessions(100_000);
+    let config = FleetConfig::uniform(model.clone(), 256);
+    let (ref_sec, ref_report) = timed(|| reference::simulate_fleet(&config, &metropolis, kind));
+    let (seq_sec, seq_report) = timed(|| simulate_fleet(&config, &metropolis, kind));
+    let (par_sec, par_report) =
+        timed(|| simulate_fleet_parallel(&config, &metropolis, kind, PARALLEL_WORKERS));
+    assert_eq!(ref_report.to_json_line(), seq_report.to_json_line());
+    assert_eq!(ref_report.to_json_line(), par_report.to_json_line());
+    let events = sim_events(&ref_report);
+    print_comparison("metropolis_100k", events, ref_sec, "reference", ref_sec);
+    print_comparison("metropolis_100k", events, ref_sec, "rebuilt", seq_sec);
+    print_comparison("metropolis_100k", events, ref_sec, "parallel8", par_sec);
+    c.bench_function("sim_events/metropolis_100k/parallel8", |b| {
+        b.iter(|| simulate_fleet_parallel(&config, &metropolis, kind, PARALLEL_WORKERS))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -424,6 +424,27 @@ mod tests {
     }
 
     #[test]
+    fn engine_rebuild_modules_are_inside_the_determinism_scopes() {
+        // The engine rebuild added calendar.rs, parallel.rs and
+        // reference.rs under crates/serve/src; the directory-prefix scope
+        // must keep policing them — a bit-identity bug from a stray
+        // HashMap or bare cast in the hot path is exactly what these
+        // rules exist to catch.
+        for module in [
+            "crates/serve/src/calendar.rs",
+            "crates/serve/src/parallel.rs",
+            "crates/serve/src/reference.rs",
+        ] {
+            let unordered = diags(module, "use std::collections::HashMap;\n");
+            assert_eq!(unordered.len(), 1, "{module}: {unordered:?}");
+            assert_eq!(unordered[0].rule, "unordered-iteration");
+            let lossy = diags(module, "let x = n as f64;\n");
+            assert_eq!(lossy.len(), 1, "{module}: {lossy:?}");
+            assert_eq!(lossy[0].rule, "lossy-cast");
+        }
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let source = "#[cfg(test)]\nmod tests {\n fn f() { let x = v.unwrap() as u64; }\n}\n";
         assert!(diags("crates/serve/src/x.rs", source).is_empty());

@@ -11,20 +11,27 @@
 //! priority-by-branch spends it on the visual branches first, and batch
 //! aggregation amortizes it over the DSE-chosen batch size.
 //!
-//! The fleet loop needs no event heap: arrivals are pre-generated in time
-//! order, the only compute events are shard dispatch completions (one
-//! pending per shard), and the dynamic-fleet layer adds a small set of
-//! *lifecycle* events — scheduled failures, forced drains, warm-up
-//! completions and idle checks. Every step processes the earliest event:
+//! The loop is driven by an indexed event calendar
+//! ([`crate::calendar::Calendar`]): arrivals are pre-generated in time
+//! order and consumed through a cursor, while dispatch completions and
+//! fleet *lifecycle* events (scheduled failures, forced drains, warm-up
+//! completions, idle checks) live in a binary min-heap keyed by
+//! `(time, lane, tiebreaks, seq)`. Every step pops the earliest event:
 //! lifecycle events win ties (a shard that dies at `t` cannot admit the
 //! arrival at `t`), arrivals win ties against dispatches, and dispatches
 //! tie-break on the lowest shard index — so the whole simulation is a
-//! deterministic function of its inputs. Admission happens in arrival
-//! order against the chosen shard's live state: the balancer picks among
-//! the *placeable* shards, the admission controller accepts or sheds the
-//! request at that shard's front door, and the shard's bounded queue takes
-//! the drop — exactly what a heap-based simulator would produce, without
-//! any nondeterminism.
+//! deterministic function of its inputs, and bit-identical to the frozen
+//! linear-scan loop in [`crate::reference`] (the equivalence battery pins
+//! this). Shard dispatch entries are *lazily invalidated*: each shard
+//! carries an epoch that bumps whenever its dispatch instant could have
+//! changed, and stale calendar entries are discarded at pop time.
+//! Admission happens in arrival order against the chosen shard's live
+//! state: the balancer picks among the *placeable* shards, the admission
+//! controller accepts or sheds the request at that shard's front door, and
+//! the shard's bounded queue takes the drop. Static fleets under a
+//! load-oblivious balancer (round-robin, branch-sharded) additionally
+//! skip the per-arrival placeable scan entirely — placement is O(1)
+//! arithmetic until the first lifecycle event or spawn.
 //!
 //! The fixed fleet is the no-op special case: [`simulate_fleet`] runs the
 //! same loop under [`Autoscaler::none`] and [`FailurePlan::none`], where no
@@ -42,12 +49,14 @@ use crate::admission::{admit_traced, AdmissionController, AdmissionKind, Admissi
 use crate::autoscale::{
     Autoscaler, FailurePlan, KillTarget, ScaleEvent, ScaleEventKind, ShardState,
 };
+use crate::calendar::{Calendar, LANE_ARRIVAL, LANE_DISPATCH, LANE_LIFECYCLE};
 use crate::cast::{f64_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
-use crate::fleet::{Balancer, FleetConfig, ShardLoad};
+use crate::fleet::{Balancer, FleetConfig, LoadBalancerKind, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
 use crate::qos::{QosClass, CLASS_COUNT};
 use crate::report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport, ShardStats};
+use crate::request::Request;
 use crate::scenario::Scenario;
 use crate::scheduler::{Scheduler, SchedulerKind};
 
@@ -250,17 +259,11 @@ pub fn simulate_traced(
     )
 }
 
-/// One pending lifecycle event. Events order by `(at_us, rank, seq)`:
+/// A fleet lifecycle action carried in the calendar payload. Ordering
+/// lives in the calendar key — `(at_us, LANE_LIFECYCLE, rank, seq)`:
 /// failures before drains before warm-ups before idle checks at the same
-/// instant, insertion order as the final tie-break — all deterministic.
-struct Lifecycle {
-    at_us: u64,
-    rank: u8,
-    seq: u64,
-    shard: usize,
-    action: Action,
-}
-
+/// instant, insertion order as the final tie-break — all deterministic
+/// and identical to the frozen loop's `(at_us, rank, seq)` linear scan.
 enum Action {
     Fail(KillTarget),
     Drain,
@@ -279,45 +282,89 @@ impl Action {
     }
 }
 
+/// A calendar payload: a lifecycle action against a shard, or a shard's
+/// pending dispatch completion (validated against the shard's epoch at
+/// pop time).
+enum CalEvent {
+    Life { shard: usize, action: Action },
+    Dispatch { shard: usize },
+}
+
+/// Pushes a lifecycle event under `(at_us, LANE_LIFECYCLE, rank, seq)`,
+/// advancing the shared lifecycle sequence counter that replicates the
+/// frozen loop's insertion-order tie-break.
+fn push_life(
+    calendar: &mut Calendar<CalEvent>,
+    life_seq: &mut u64,
+    at_us: u64,
+    shard: usize,
+    action: Action,
+) {
+    let rank = u64::from(action.rank());
+    calendar.push(
+        at_us,
+        LANE_LIFECYCLE,
+        rank,
+        *life_seq,
+        CalEvent::Life { shard, action },
+    );
+    *life_seq += 1;
+}
+
 /// One shard's full runtime state: its service model, scheduler, lifecycle
 /// phase, fabric timing and serving statistics. `free_at_us` is the
 /// instant the shard's fabric frees — its last dispatch completion or
 /// weight-refill end, which is why the makespan reads straight off it;
 /// `pending_since_us` is the arrival instant that made its queue non-empty
 /// (a shard with queued work dispatches at `max(free_at, pending_since)`).
-struct Shard<'a> {
-    model: ServiceModel,
-    scheduler: Box<dyn Scheduler + 'a>,
-    phase: ShardState,
-    free_at_us: u64,
-    pending_since_us: u64,
-    busy_us: u64,
-    backlog_us: u64,
+pub(crate) struct Shard<'a> {
+    pub(crate) model: ServiceModel,
+    pub(crate) scheduler: Box<dyn Scheduler + 'a>,
+    pub(crate) phase: ShardState,
+    pub(crate) free_at_us: u64,
+    pub(crate) pending_since_us: u64,
+    pub(crate) busy_us: u64,
+    pub(crate) backlog_us: u64,
     /// The queued backlog split by QoS class (each request at its
     /// unbatched single-request cost) — the admission controller's view
     /// of how much work that can outrank a new arrival it waits behind.
-    class_backlog_us: [u64; CLASS_COUNT],
+    pub(crate) class_backlog_us: [u64; CLASS_COUNT],
     /// Highest branch priority of this shard's model (fixed for the
     /// run), feeding the admission projection's worst-case score.
-    max_priority: f64,
-    issued: u64,
-    completed: u64,
-    dropped: u64,
-    shed: u64,
-    histogram: LatencyHistogram,
+    pub(crate) max_priority: f64,
+    /// Per-branch single-request service cost, resolved once at shard
+    /// construction so the per-arrival admission view and the per-request
+    /// backlog accounting are table lookups instead of recomputed
+    /// `batch_service_us` calls.
+    pub(crate) single_cost_us: Vec<u64>,
+    /// Validity epoch for this shard's calendar dispatch entry: bumped by
+    /// [`refresh_dispatch`] whenever the dispatch instant could have
+    /// changed; calendar entries carrying an older epoch are stale and
+    /// discarded at pop time.
+    pub(crate) dispatch_epoch: u64,
+    pub(crate) issued: u64,
+    pub(crate) completed: u64,
+    pub(crate) dropped: u64,
+    pub(crate) shed: u64,
+    pub(crate) histogram: LatencyHistogram,
     /// Whether an idle check for this shard is already queued — one
     /// pending check per shard keeps the lifecycle event list from
     /// accumulating a duplicate per queue-emptying dispatch.
-    idle_check_pending: bool,
+    pub(crate) idle_check_pending: bool,
 }
 
 impl<'a> Shard<'a> {
-    fn new(model: ServiceModel, scheduler: Box<dyn Scheduler + 'a>, phase: ShardState) -> Self {
+    pub(crate) fn new(
+        model: ServiceModel,
+        scheduler: Box<dyn Scheduler + 'a>,
+        phase: ShardState,
+    ) -> Self {
         let max_priority = model
             .branches
             .iter()
             .map(|b| b.priority)
             .fold(0.0, f64::max);
+        let single_cost_us = model.single_costs();
         Self {
             model,
             scheduler,
@@ -328,6 +375,8 @@ impl<'a> Shard<'a> {
             backlog_us: 0,
             class_backlog_us: [0; CLASS_COUNT],
             max_priority,
+            single_cost_us,
+            dispatch_epoch: 0,
             issued: 0,
             completed: 0,
             dropped: 0,
@@ -337,10 +386,12 @@ impl<'a> Shard<'a> {
         }
     }
 
-    /// The admission controller's view of this shard for one arriving
-    /// request on `branch`, whose single-request service estimate is
-    /// `service_us`.
-    fn admission_view(&self, capacity: usize, service_us: u64, branch: usize) -> AdmissionView {
+    pub(crate) fn admission_view(
+        &self,
+        capacity: usize,
+        service_us: u64,
+        branch: usize,
+    ) -> AdmissionView {
         AdmissionView {
             queued: self.scheduler.queued(),
             capacity,
@@ -352,7 +403,6 @@ impl<'a> Shard<'a> {
         }
     }
 
-    /// The balancer's view of this shard at placement time.
     fn load(&self) -> ShardLoad {
         ShardLoad {
             queued: self.scheduler.queued(),
@@ -361,10 +411,28 @@ impl<'a> Shard<'a> {
         }
     }
 
-    /// The instant this shard's next dispatch fires (meaningful only while
-    /// it has queued work and is in a dispatching phase).
-    fn dispatch_at(&self) -> u64 {
+    pub(crate) fn dispatch_at(&self) -> u64 {
         self.free_at_us.max(self.pending_since_us)
+    }
+}
+
+/// Invalidates `shard`'s calendar dispatch entry (by bumping its epoch)
+/// and re-schedules it if the shard still has dispatchable work. Called
+/// after every mutation that can move a shard's dispatch instant:
+/// dispatch completion, enqueue into an empty queue, orphan re-placement
+/// (the repay fill moves `free_at_us` even with a non-empty queue),
+/// failure drain, and warm-up completion.
+fn refresh_dispatch(calendar: &mut Calendar<CalEvent>, shards: &mut [Shard], shard: usize) {
+    let s = &mut shards[shard];
+    s.dispatch_epoch += 1;
+    if s.phase.dispatches() && s.scheduler.queued() > 0 {
+        calendar.push(
+            s.dispatch_at(),
+            LANE_DISPATCH,
+            usize_to_u64(shard),
+            s.dispatch_epoch,
+            CalEvent::Dispatch { shard },
+        );
     }
 }
 
@@ -379,12 +447,6 @@ fn alive_count(shards: &[Shard]) -> usize {
     shards.iter().filter(|s| s.phase.is_alive()).count()
 }
 
-/// The lifecycle-driven event loop shared by every entry point. `spawn`
-/// is the discipline new shards are built with; `None` (the fixed-fleet
-/// paths) makes scale-up impossible, which the no-op policy guarantees
-/// never to request. `sink` observes the run: with a disabled sink every
-/// emission site reduces to one untaken branch, so an untraced run is
-/// bit-identical to a pre-observability one.
 #[allow(clippy::too_many_arguments)]
 fn run<'a>(
     config: &FleetConfig,
@@ -396,8 +458,6 @@ fn run<'a>(
     admission: &mut dyn AdmissionController,
     sink: &mut dyn TraceSink,
 ) -> ServeReport {
-    // Hand-built or deserialized configs can reach this point without ever
-    // passing through `uniform`/`heterogeneous`; re-check their invariants.
     config.assert_valid();
     assert_eq!(
         schedulers.len(),
@@ -409,15 +469,10 @@ fn run<'a>(
     let branch_count = config.branch_count();
     let arrivals = scenario.generate(branch_count);
     let mut balancer = Balancer::new(config.balancer);
+    balancer.reserve_sessions(scenario.sessions);
     let capacity = scenario.queue_capacity;
-    // Checked once: every emission below is guarded, so the Off sink costs
-    // one predictable branch per site and zero allocations.
     let tracing = sink.enabled();
 
-    // Per-shard runtime state, indexed by global shard id (spawn order;
-    // the initial shards keep their config order). Scenario priority
-    // overrides apply fleet-wide: every shard serves the same branch
-    // structure under the same priorities.
     let mut shards: Vec<Shard<'a>> = config
         .shards
         .iter()
@@ -431,59 +486,33 @@ fn run<'a>(
         })
         .collect();
 
-    // Per-branch accounting, merged across shards.
-    let mut issued = vec![0u64; branch_count];
-    let mut completed = vec![0u64; branch_count];
-    let mut dropped = vec![0u64; branch_count];
-    let mut lost = vec![0u64; branch_count];
-    let mut shed = vec![0u64; branch_count];
-    let mut branch_histograms: Vec<LatencyHistogram> =
-        (0..branch_count).map(|_| LatencyHistogram::new()).collect();
-    // Per-QoS-class accounting, indexed by `QosClass::index`, merged
-    // across branches and shards; `within_budget` counts completions
-    // inside their class budget (the SLO-attainment numerator).
-    let mut class_issued = [0u64; CLASS_COUNT];
-    let mut class_completed = [0u64; CLASS_COUNT];
-    let mut class_dropped = [0u64; CLASS_COUNT];
-    let mut class_lost = [0u64; CLASS_COUNT];
-    let mut class_shed = [0u64; CLASS_COUNT];
-    let mut within_budget = [0u64; CLASS_COUNT];
-    let mut class_histograms: [LatencyHistogram; CLASS_COUNT] =
-        std::array::from_fn(|_| LatencyHistogram::new());
-    for request in &arrivals {
-        issued[request.branch] += 1;
-        class_issued[request.class.index()] += 1;
-    }
+    let mut tally = Tally::new(branch_count);
+    tally.count_arrivals(&arrivals);
 
-    // Lifecycle bookkeeping. The pre/post-failure split point is the first
-    // *scheduled* kill instant, fixed before the run starts.
-    let mut lifecycle: Vec<Lifecycle> = Vec::new();
-    let mut seq = 0u64;
-    let mut push_event = |queue: &mut Vec<Lifecycle>, at_us: u64, shard: usize, action: Action| {
-        queue.push(Lifecycle {
-            at_us,
-            rank: action.rank(),
-            seq,
-            shard,
-            action,
-        });
-        seq += 1;
-    };
+    let mut calendar: Calendar<CalEvent> = Calendar::new();
+    let mut life_seq = 0u64;
     for kill in failures.kills() {
         let shard = match kill.target {
             KillTarget::Shard(s) => s,
             KillTarget::Seeded(_) => usize::MAX, // resolved at fire time
         };
-        push_event(&mut lifecycle, kill.at_us, shard, Action::Fail(kill.target));
+        push_life(
+            &mut calendar,
+            &mut life_seq,
+            kill.at_us,
+            shard,
+            Action::Fail(kill.target),
+        );
     }
     for &(at_us, shard) in &policy.drains {
-        push_event(&mut lifecycle, at_us, shard, Action::Drain);
+        push_life(&mut calendar, &mut life_seq, at_us, shard, Action::Drain);
     }
     if policy.idle_retire_us > 0 {
         for (index, shard) in shards.iter_mut().enumerate() {
             shard.idle_check_pending = true;
-            push_event(
-                &mut lifecycle,
+            push_life(
+                &mut calendar,
+                &mut life_seq,
                 policy.idle_retire_us,
                 index,
                 Action::IdleCheck,
@@ -491,319 +520,465 @@ fn run<'a>(
         }
     }
     let split_us = failures.first_kill_us();
-    let mut pre_failure = LatencyHistogram::new();
-    let mut post_failure = LatencyHistogram::new();
-    let mut scale_events: Vec<ScaleEvent> = Vec::new();
-    let mut replaced = 0u64;
     let mut last_scale_up: Option<u64> = None;
     let mut recent_latencies: VecDeque<u64> = VecDeque::with_capacity(P99_WINDOW);
 
-    let mut next_arrival = 0; // index into `arrivals`
-
-    // Scratch buffer for the balancer's view of the placeable shards,
-    // refilled per placement (hoisted out of the loop).
+    let mut next_arrival = 0;
+    // Requests sitting in shard queues, fleet-wide: the O(1) termination
+    // check (the frozen loop re-summed every shard per iteration).
+    let mut queued_total: usize = 0;
     let mut loads: Vec<(usize, ShardLoad)> = Vec::with_capacity(shards.len());
+    // Load-oblivious placement fast path: while the fleet is untouched by
+    // lifecycle events (everything Active), round-robin and branch-sharded
+    // placement are pure arithmetic over the full shard range — no
+    // per-arrival placeable scan. Any lifecycle event or spawn clears the
+    // flag, falling back to the general path for the rest of the run.
+    let mut dense = matches!(
+        config.balancer,
+        LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
+    );
 
     loop {
         let due_arrival = arrivals.get(next_arrival).copied();
-        // Termination: nothing left to arrive, nothing queued anywhere.
-        // Lifecycle events past the last completion are deliberately
-        // discarded — they could no longer affect any request.
-        if due_arrival.is_none() && shards.iter().all(|s| s.scheduler.queued() == 0) {
+        if due_arrival.is_none() && queued_total == 0 {
             break;
         }
-        // The earliest pending dispatch across the fleet: an active or
-        // draining shard with queued work fires at
-        // `max(free_at, pending_since)`; ties go to the lowest shard index
-        // (the `(time, index)` min). Warming shards hold their queue.
-        let next_dispatch = shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.phase.dispatches() && s.scheduler.queued() > 0)
-            .map(|(index, s)| (s.dispatch_at(), index))
-            .min();
-        let next_life = lifecycle
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| (e.at_us, e.rank, e.seq))
-            .map(|(index, _)| index);
         let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
-        let dispatch_at = next_dispatch.map_or(u64::MAX, |(t, _)| t);
-        let life_at = next_life.map_or(u64::MAX, |i| lifecycle[i].at_us);
-        if arrival_at == u64::MAX && dispatch_at == u64::MAX && life_at == u64::MAX {
-            // Queued work stranded with no event to release it would hang
-            // the loop; structurally impossible (warming shards always
-            // have a warm-up pending), but never spin.
+        // Surface the earliest *live* calendar entry, discarding stale
+        // dispatch entries (superseded epochs) lazily.
+        let front = loop {
+            match calendar.peek_key() {
+                Some(key)
+                    if key.lane == LANE_DISPATCH
+                        && key.b != shards[u64_to_usize(key.a)].dispatch_epoch =>
+                {
+                    calendar.pop();
+                }
+                other => break other,
+            }
+        };
+        let take_calendar =
+            front.is_some_and(|key| (key.at_us, key.lane) < (arrival_at, LANE_ARRIVAL));
+        if !take_calendar && due_arrival.is_none() {
             debug_assert!(false, "stranded queued work with no pending event");
             break;
         }
 
-        if life_at <= arrival_at.min(dispatch_at) {
-            // --- Lifecycle event ---
-            let event = lifecycle.swap_remove(next_life.expect("life_at is finite"));
-            let now_us = event.at_us;
-            match event.action {
-                Action::Fail(target) => {
-                    let victim = match target {
-                        KillTarget::Shard(s) if s < shards.len() && shards[s].phase.is_alive() => {
-                            Some(s)
-                        }
-                        KillTarget::Shard(_) => None,
-                        KillTarget::Seeded(hash) => {
-                            let actives: Vec<usize> = (0..shards.len())
-                                .filter(|&s| shards[s].phase == ShardState::Active)
-                                .collect();
-                            if actives.is_empty() {
-                                None
-                            } else {
-                                Some(actives[u64_to_usize(hash % usize_to_u64(actives.len()))])
-                            }
-                        }
-                    };
-                    let Some(victim) = victim else { continue };
-                    shards[victim].phase = ShardState::Failed;
-                    record(
-                        &mut scale_events,
-                        &shards,
-                        now_us,
-                        ScaleEventKind::Fail,
-                        victim,
-                        sink,
-                        tracing,
-                    );
-                    // Orphan the dead shard's queue in its scheduler's own
-                    // dispatch order. Re-placed requests keep their
-                    // original arrival instant — migration time is queueing
-                    // time the user experiences.
-                    let mut orphans: Vec<crate::Request> = Vec::new();
-                    {
-                        let dead = &mut shards[victim];
-                        while dead.scheduler.queued() > 0 {
-                            let batch = dead.scheduler.next_batch(&dead.model, now_us, &[]);
-                            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
-                            orphans.extend(batch);
-                        }
-                        dead.backlog_us = 0;
-                        dead.class_backlog_us = [0; CLASS_COUNT];
-                        dead.pending_since_us = 0;
-                        dead.issued -= usize_to_u64(orphans.len());
-                    }
-                    // Replacement spawns back to the policy floor *before*
-                    // re-placement, ignoring the cooldown: availability
-                    // first — if the whole fleet died, the orphans land on
-                    // the warming replacement and wait out its weight fill
-                    // instead of being lost. The no-op policy's floor of 0
-                    // requests nothing.
-                    if let Some(kind) = spawn {
-                        while alive_count(&shards) < policy.min_shards
-                            && alive_count(&shards) < policy.max_shards
-                        {
-                            do_spawn(
+        if take_calendar {
+            let (key, event) = calendar.pop().expect("calendar front was just peeked");
+            let now_us = key.at_us;
+            match event {
+                CalEvent::Life {
+                    shard: life_shard,
+                    action,
+                } => {
+                    dense = false;
+                    match action {
+                        Action::Fail(target) => {
+                            let victim = match target {
+                                KillTarget::Shard(s)
+                                    if s < shards.len() && shards[s].phase.is_alive() =>
+                                {
+                                    Some(s)
+                                }
+                                KillTarget::Shard(_) => None,
+                                KillTarget::Seeded(hash) => {
+                                    let actives: Vec<usize> = (0..shards.len())
+                                        .filter(|&s| shards[s].phase == ShardState::Active)
+                                        .collect();
+                                    if actives.is_empty() {
+                                        None
+                                    } else {
+                                        Some(
+                                            actives
+                                                [u64_to_usize(hash % usize_to_u64(actives.len()))],
+                                        )
+                                    }
+                                }
+                            };
+                            let Some(victim) = victim else { continue };
+                            shards[victim].phase = ShardState::Failed;
+                            record(
+                                &mut tally.scale_events,
+                                &shards,
                                 now_us,
-                                kind,
-                                policy,
-                                &mut shards,
-                                &mut lifecycle,
-                                &mut push_event,
-                                &mut scale_events,
+                                ScaleEventKind::Fail,
+                                victim,
                                 sink,
                                 tracing,
                             );
-                            last_scale_up = Some(now_us);
+                            let mut orphans: Vec<Request> = Vec::new();
+                            {
+                                let dead = &mut shards[victim];
+                                while dead.scheduler.queued() > 0 {
+                                    let batch = dead.scheduler.next_batch(&dead.model, now_us, &[]);
+                                    debug_assert!(
+                                        !batch.is_empty(),
+                                        "scheduler returned an empty batch"
+                                    );
+                                    orphans.extend(batch);
+                                }
+                                dead.backlog_us = 0;
+                                dead.class_backlog_us = [0; CLASS_COUNT];
+                                dead.pending_since_us = 0;
+                                dead.issued -= usize_to_u64(orphans.len());
+                            }
+                            queued_total -= orphans.len();
+                            refresh_dispatch(&mut calendar, &mut shards, victim);
+                            if let Some(kind) = spawn {
+                                while alive_count(&shards) < policy.min_shards
+                                    && alive_count(&shards) < policy.max_shards
+                                {
+                                    do_spawn(
+                                        now_us,
+                                        kind,
+                                        policy,
+                                        &mut shards,
+                                        &mut calendar,
+                                        &mut life_seq,
+                                        &mut tally.scale_events,
+                                        sink,
+                                        tracing,
+                                    );
+                                    last_scale_up = Some(now_us);
+                                }
+                            }
+                            for request in orphans {
+                                collect_placeable(&mut loads, &shards);
+                                if loads.is_empty() {
+                                    tally.lost[request.branch] += 1;
+                                    tally.class_lost[request.class.index()] += 1;
+                                    if tracing {
+                                        sink.record(request.trace(
+                                            now_us,
+                                            None,
+                                            RequestEventKind::Lost { orphaned: true },
+                                        ));
+                                    }
+                                    continue;
+                                }
+                                let dst = balancer.place(&request, &loads, now_us, capacity);
+                                if shards[dst].scheduler.queued() >= capacity {
+                                    tally.lost[request.branch] += 1;
+                                    tally.class_lost[request.class.index()] += 1;
+                                    if tracing {
+                                        sink.record(request.trace(
+                                            now_us,
+                                            None,
+                                            RequestEventKind::Lost { orphaned: true },
+                                        ));
+                                    }
+                                    continue;
+                                }
+                                {
+                                    let target = &mut shards[dst];
+                                    if target.scheduler.queued() == 0 {
+                                        target.pending_since_us = now_us;
+                                    }
+                                    if failures.repay_fill() && target.phase != ShardState::Warming
+                                    {
+                                        let fill =
+                                            target.model.branches[request.branch].fill_time_us;
+                                        target.free_at_us = target.free_at_us.max(now_us) + fill;
+                                        target.busy_us += fill;
+                                    }
+                                    let single_us = target.single_cost_us[request.branch];
+                                    target.backlog_us += single_us;
+                                    target.class_backlog_us[request.class.index()] += single_us;
+                                    target.scheduler.enqueue(request, now_us);
+                                    target.issued += 1;
+                                }
+                                queued_total += 1;
+                                // Unconditional: the repay fill can move
+                                // `free_at_us` even when the queue was
+                                // already non-empty.
+                                refresh_dispatch(&mut calendar, &mut shards, dst);
+                                balancer.note_admitted(request.session, dst);
+                                tally.replaced += 1;
+                                if tracing {
+                                    sink.record(request.trace(
+                                        now_us,
+                                        Some(dst),
+                                        RequestEventKind::Replace { from_shard: victim },
+                                    ));
+                                }
+                            }
+                        }
+                        Action::Drain => {
+                            let shard = life_shard;
+                            if shard >= shards.len() || shards[shard].phase != ShardState::Active {
+                                continue;
+                            }
+                            let floor = policy.min_shards.max(1);
+                            if active_count(&shards) <= floor {
+                                continue;
+                            }
+                            shards[shard].phase = ShardState::Draining;
+                            record(
+                                &mut tally.scale_events,
+                                &shards,
+                                now_us,
+                                ScaleEventKind::Drain,
+                                shard,
+                                sink,
+                                tracing,
+                            );
+                            if shards[shard].scheduler.queued() == 0 {
+                                retire(
+                                    &mut shards,
+                                    &mut tally.scale_events,
+                                    now_us,
+                                    shard,
+                                    sink,
+                                    tracing,
+                                );
+                            }
+                        }
+                        Action::Warm => {
+                            let shard = life_shard;
+                            if shards[shard].phase == ShardState::Warming {
+                                shards[shard].phase = ShardState::Active;
+                                shards[shard].free_at_us = shards[shard].free_at_us.max(now_us);
+                                record(
+                                    &mut tally.scale_events,
+                                    &shards,
+                                    now_us,
+                                    ScaleEventKind::Warm,
+                                    shard,
+                                    sink,
+                                    tracing,
+                                );
+                                // The warm-up raised `free_at_us`, and the
+                                // shard may have queued work placed while
+                                // warming — it becomes dispatchable now.
+                                refresh_dispatch(&mut calendar, &mut shards, shard);
+                            }
+                        }
+                        Action::IdleCheck => {
+                            let shard = life_shard;
+                            if shard >= shards.len() {
+                                continue;
+                            }
+                            shards[shard].idle_check_pending = false;
+                            if shards[shard].phase != ShardState::Active
+                                || shards[shard].scheduler.queued() > 0
+                            {
+                                continue;
+                            }
+                            if shards[shard].free_at_us + policy.idle_retire_us > now_us {
+                                shards[shard].idle_check_pending = true;
+                                push_life(
+                                    &mut calendar,
+                                    &mut life_seq,
+                                    shards[shard].free_at_us + policy.idle_retire_us,
+                                    shard,
+                                    Action::IdleCheck,
+                                );
+                                continue;
+                            }
+                            let floor = policy.min_shards.max(1);
+                            if active_count(&shards) <= floor {
+                                continue;
+                            }
+                            retire(
+                                &mut shards,
+                                &mut tally.scale_events,
+                                now_us,
+                                shard,
+                                sink,
+                                tracing,
+                            );
                         }
                     }
-                    // Re-place each orphan through the live balancer. A
-                    // request is lost when the balancer's pick has no
-                    // queue space — the load-aware policies steer to free
-                    // queues, so their losses mean real exhaustion, while
-                    // round-robin/branch-sharded can lose with capacity
-                    // elsewhere (placement policy is part of the
-                    // availability story).
-                    for request in orphans {
-                        collect_placeable(&mut loads, &shards);
-                        if loads.is_empty() {
-                            lost[request.branch] += 1;
-                            class_lost[request.class.index()] += 1;
-                            if tracing {
-                                sink.record(request.trace(
-                                    now_us,
-                                    None,
-                                    RequestEventKind::Lost { orphaned: true },
-                                ));
-                            }
-                            continue;
-                        }
-                        let dst = balancer.place(&request, &loads, now_us, capacity);
-                        if shards[dst].scheduler.queued() >= capacity {
-                            lost[request.branch] += 1;
-                            class_lost[request.class.index()] += 1;
-                            if tracing {
-                                sink.record(request.trace(
-                                    now_us,
-                                    None,
-                                    RequestEventKind::Lost { orphaned: true },
-                                ));
-                            }
-                            continue;
-                        }
-                        let target = &mut shards[dst];
-                        if target.scheduler.queued() == 0 {
-                            target.pending_since_us = now_us;
-                        }
-                        if failures.repay_fill() && target.phase != ShardState::Warming {
-                            // The migrated identity's weights are not
-                            // resident on the new shard: its fabric spends
-                            // the branch fill re-streaming them. A warming
-                            // destination skips the charge — its warm-up
-                            // streaming already covers the fill, and the
-                            // Warm handler would subsume the window anyway.
-                            let fill = target.model.branches[request.branch].fill_time_us;
-                            target.free_at_us = target.free_at_us.max(now_us) + fill;
-                            target.busy_us += fill;
-                        }
-                        let single_us = target.model.batch_service_us(request.branch, 1);
-                        target.backlog_us += single_us;
-                        target.class_backlog_us[request.class.index()] += single_us;
-                        target.scheduler.enqueue(request, now_us);
-                        balancer.note_admitted(request.session, dst);
-                        target.issued += 1;
-                        replaced += 1;
+                }
+                CalEvent::Dispatch { shard } => {
+                    let (batch, service_us, done_us) = {
+                        let s = &mut shards[shard];
+                        let batch = s.scheduler.next_batch(&s.model, now_us, &[]);
+                        debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+                        let branch = batch[0].branch;
+                        debug_assert!(batch.iter().all(|r| r.branch == branch));
+                        let service_us = s.model.batch_service_us(branch, batch.len());
+                        (batch, service_us, now_us + service_us)
+                    };
+                    queued_total -= batch.len();
+                    shards[shard].busy_us += service_us;
+                    if tracing {
+                        sink.record(TraceEvent::Batch(BatchEvent {
+                            at_us: now_us,
+                            shard,
+                            branch: batch[0].branch,
+                            len: batch.len(),
+                            service_us,
+                        }));
+                    }
+                    for request in &batch {
+                        let latency_us = request.latency_us(done_us);
                         if tracing {
                             sink.record(request.trace(
                                 now_us,
-                                Some(dst),
-                                RequestEventKind::Replace { from_shard: victim },
+                                Some(shard),
+                                RequestEventKind::ServiceStart,
+                            ));
+                            sink.record(request.trace(
+                                done_us,
+                                Some(shard),
+                                RequestEventKind::Complete { latency_us },
                             ));
                         }
+                        tally.branch_histograms[request.branch].record(latency_us);
+                        tally.completed[request.branch] += 1;
+                        let class = request.class.index();
+                        tally.class_histograms[class].record(latency_us);
+                        tally.class_completed[class] += 1;
+                        if request.meets_slo(done_us) {
+                            tally.within_budget[class] += 1;
+                        }
+                        let s = &mut shards[shard];
+                        s.histogram.record(latency_us);
+                        s.completed += 1;
+                        let single_us = s.single_cost_us[request.branch];
+                        s.backlog_us = s.backlog_us.saturating_sub(single_us);
+                        s.class_backlog_us[class] =
+                            s.class_backlog_us[class].saturating_sub(single_us);
+                        if let Some(split) = split_us {
+                            if done_us < split {
+                                tally.pre_failure.record(latency_us);
+                            } else {
+                                tally.post_failure.record(latency_us);
+                            }
+                        }
+                        if spawn.is_some() && policy.scale_up_p99_ms > 0.0 {
+                            if recent_latencies.len() == P99_WINDOW {
+                                recent_latencies.pop_front();
+                            }
+                            recent_latencies.push_back(latency_us);
+                        }
                     }
-                }
-                Action::Drain => {
-                    let shard = event.shard;
-                    if shard >= shards.len() || shards[shard].phase != ShardState::Active {
-                        continue;
-                    }
-                    let floor = policy.min_shards.max(1);
-                    if active_count(&shards) <= floor {
-                        continue;
-                    }
-                    shards[shard].phase = ShardState::Draining;
-                    record(
-                        &mut scale_events,
-                        &shards,
-                        now_us,
-                        ScaleEventKind::Drain,
-                        shard,
-                        sink,
-                        tracing,
-                    );
-                    if shards[shard].scheduler.queued() == 0 {
-                        retire(&mut shards, &mut scale_events, now_us, shard, sink, tracing);
-                    }
-                }
-                Action::Warm => {
-                    let shard = event.shard;
-                    if shards[shard].phase == ShardState::Warming {
-                        shards[shard].phase = ShardState::Active;
-                        // The fabric spent the warm-up streaming identity
-                        // weights: nothing can have dispatched before this
-                        // instant, even for work queued while warming.
-                        shards[shard].free_at_us = shards[shard].free_at_us.max(now_us);
-                        record(
-                            &mut scale_events,
-                            &shards,
-                            now_us,
-                            ScaleEventKind::Warm,
+                    shards[shard].free_at_us = done_us;
+                    shards[shard].pending_since_us = 0;
+                    refresh_dispatch(&mut calendar, &mut shards, shard);
+                    if shards[shard].phase == ShardState::Draining
+                        && shards[shard].scheduler.queued() == 0
+                    {
+                        retire(
+                            &mut shards,
+                            &mut tally.scale_events,
+                            done_us,
                             shard,
                             sink,
                             tracing,
                         );
-                    }
-                }
-                Action::IdleCheck => {
-                    let shard = event.shard;
-                    if shard >= shards.len() {
-                        continue;
-                    }
-                    shards[shard].idle_check_pending = false;
-                    if shards[shard].phase != ShardState::Active
-                        || shards[shard].scheduler.queued() > 0
+                    } else if shards[shard].phase == ShardState::Active
+                        && shards[shard].scheduler.queued() == 0
+                        && policy.idle_retire_us > 0
+                        && !shards[shard].idle_check_pending
                     {
-                        continue; // a fresh check is scheduled when it idles again
-                    }
-                    if shards[shard].free_at_us + policy.idle_retire_us > now_us {
-                        // Busy since the check was scheduled; look again
-                        // once the full idle window has elapsed.
                         shards[shard].idle_check_pending = true;
-                        push_event(
-                            &mut lifecycle,
-                            shards[shard].free_at_us + policy.idle_retire_us,
+                        push_life(
+                            &mut calendar,
+                            &mut life_seq,
+                            done_us + policy.idle_retire_us,
                             shard,
                             Action::IdleCheck,
                         );
-                        continue;
                     }
-                    let floor = policy.min_shards.max(1);
-                    if active_count(&shards) <= floor {
-                        continue;
+                    if let Some(kind) = spawn.filter(|_| {
+                        policy.scale_up_p99_ms > 0.0
+                            && recent_latencies.len() >= P99_MIN_SAMPLES
+                            && alive_count(&shards) < policy.max_shards
+                            && last_scale_up
+                                .is_none_or(|t| done_us >= t.saturating_add(policy.cooldown_us))
+                    }) {
+                        let mut window: Vec<u64> = recent_latencies.iter().copied().collect();
+                        window.sort_unstable();
+                        let rank = f64_to_usize((usize_to_f64(window.len()) * 0.99).ceil())
+                            .clamp(1, window.len());
+                        let p99_ms = u64_to_f64(window[rank - 1]) / 1_000.0;
+                        if p99_ms >= policy.scale_up_p99_ms {
+                            do_spawn(
+                                done_us,
+                                kind,
+                                policy,
+                                &mut shards,
+                                &mut calendar,
+                                &mut life_seq,
+                                &mut tally.scale_events,
+                                sink,
+                                tracing,
+                            );
+                            dense = false;
+                            last_scale_up = Some(done_us);
+                        }
                     }
-                    // Idle retirement skips the Draining phase outright:
-                    // the queue is empty, so the shard leaves in one step.
-                    retire(&mut shards, &mut scale_events, now_us, shard, sink, tracing);
                 }
             }
-        } else if arrival_at <= dispatch_at {
-            // --- Admission ---
-            // Route one arrival at its issue instant, against the live
-            // placeable shards; the admission controller then accepts it
-            // onto the chosen shard's queue, sheds it, or the bounded
-            // queue drops it. With no placeable shard left (every
-            // survivor dead or draining), the request is lost outright.
+        } else {
             let request = due_arrival.expect("arrival_at is finite");
             next_arrival += 1;
             let now_us = request.issued_at_us;
-            collect_placeable(&mut loads, &shards);
-            if loads.is_empty() {
-                lost[request.branch] += 1;
-                class_lost[request.class.index()] += 1;
+            let shard = if dense {
+                let dst = balancer
+                    .place_all_active(&request, shards.len())
+                    .expect("dense placement covers only load-oblivious balancers");
                 if tracing {
-                    sink.record(request.trace(now_us, None, RequestEventKind::Arrival));
-                    sink.record(request.trace(
-                        now_us,
-                        None,
-                        RequestEventKind::Lost { orphaned: false },
-                    ));
+                    sink.record(request.trace(now_us, Some(dst), RequestEventKind::Arrival));
                 }
-                continue;
-            }
-            let shard = balancer.place_traced(&request, &loads, now_us, capacity, sink, tracing);
-            let target = &mut shards[shard];
-            target.issued += 1;
-            let single_us = target.model.batch_service_us(request.branch, 1);
-            let view = target.admission_view(capacity, single_us, request.branch);
-            if !admit_traced(admission, &request, &view, now_us, shard, sink, tracing) {
-                shed[request.branch] += 1;
-                class_shed[request.class.index()] += 1;
-                target.shed += 1;
-            } else if target.scheduler.queued() >= capacity {
-                dropped[request.branch] += 1;
-                class_dropped[request.class.index()] += 1;
-                target.dropped += 1;
-                if tracing {
-                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::Drop));
-                }
+                dst
             } else {
-                if target.scheduler.queued() == 0 {
-                    target.pending_since_us = now_us;
+                collect_placeable(&mut loads, &shards);
+                if loads.is_empty() {
+                    tally.lost[request.branch] += 1;
+                    tally.class_lost[request.class.index()] += 1;
+                    if tracing {
+                        sink.record(request.trace(now_us, None, RequestEventKind::Arrival));
+                        sink.record(request.trace(
+                            now_us,
+                            None,
+                            RequestEventKind::Lost { orphaned: false },
+                        ));
+                    }
+                    continue;
                 }
-                target.backlog_us += single_us;
-                target.class_backlog_us[request.class.index()] += single_us;
-                target.scheduler.enqueue(request, now_us);
-                balancer.note_admitted(request.session, shard);
-                if tracing {
-                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::Enqueue));
+                balancer.place_traced(&request, &loads, now_us, capacity, sink, tracing)
+            };
+            let enqueued_into_empty = {
+                let target = &mut shards[shard];
+                target.issued += 1;
+                let single_us = target.single_cost_us[request.branch];
+                let view = target.admission_view(capacity, single_us, request.branch);
+                if !admit_traced(admission, &request, &view, now_us, shard, sink, tracing) {
+                    tally.shed[request.branch] += 1;
+                    tally.class_shed[request.class.index()] += 1;
+                    target.shed += 1;
+                    false
+                } else if target.scheduler.queued() >= capacity {
+                    tally.dropped[request.branch] += 1;
+                    tally.class_dropped[request.class.index()] += 1;
+                    target.dropped += 1;
+                    if tracing {
+                        sink.record(request.trace(now_us, Some(shard), RequestEventKind::Drop));
+                    }
+                    false
+                } else {
+                    let was_empty = target.scheduler.queued() == 0;
+                    if was_empty {
+                        target.pending_since_us = now_us;
+                    }
+                    target.backlog_us += single_us;
+                    target.class_backlog_us[request.class.index()] += single_us;
+                    target.scheduler.enqueue(request, now_us);
+                    queued_total += 1;
+                    balancer.note_admitted(request.session, shard);
+                    if tracing {
+                        sink.record(request.trace(now_us, Some(shard), RequestEventKind::Enqueue));
+                    }
+                    was_empty
                 }
+            };
+            if enqueued_into_empty {
+                refresh_dispatch(&mut calendar, &mut shards, shard);
             }
-            // Queue-pressure scale-up: mean depth across active shards.
             if let Some(kind) = spawn.filter(|_| policy.scale_up_queue_depth > 0) {
                 let actives = active_count(&shards);
                 let queued: usize = shards
@@ -821,205 +996,233 @@ fn run<'a>(
                         kind,
                         policy,
                         &mut shards,
-                        &mut lifecycle,
-                        &mut push_event,
-                        &mut scale_events,
+                        &mut calendar,
+                        &mut life_seq,
+                        &mut tally.scale_events,
                         sink,
                         tracing,
                     );
+                    dense = false;
                     last_scale_up = Some(now_us);
-                }
-            }
-        } else {
-            // --- Dispatch ---
-            // Dispatch one batch on the shard that fires earliest; its
-            // fabric is busy (weight streaming, then compute) until the
-            // whole batch completes. The empty slice tells the scheduler
-            // the shard is fully time-multiplexed: every branch is
-            // dispatchable the moment the fabric frees.
-            let (now_us, shard) = next_dispatch.expect("dispatch_at is finite");
-            let (batch, service_us, done_us) = {
-                let s = &mut shards[shard];
-                let batch = s.scheduler.next_batch(&s.model, now_us, &[]);
-                debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
-                let branch = batch[0].branch;
-                debug_assert!(batch.iter().all(|r| r.branch == branch));
-                let service_us = s.model.batch_service_us(branch, batch.len());
-                (batch, service_us, now_us + service_us)
-            };
-            shards[shard].busy_us += service_us;
-            if tracing {
-                sink.record(TraceEvent::Batch(BatchEvent {
-                    at_us: now_us,
-                    shard,
-                    branch: batch[0].branch,
-                    len: batch.len(),
-                    service_us,
-                }));
-            }
-            for request in &batch {
-                let latency_us = request.latency_us(done_us);
-                if tracing {
-                    sink.record(request.trace(now_us, Some(shard), RequestEventKind::ServiceStart));
-                    sink.record(request.trace(
-                        done_us,
-                        Some(shard),
-                        RequestEventKind::Complete { latency_us },
-                    ));
-                }
-                branch_histograms[request.branch].record(latency_us);
-                completed[request.branch] += 1;
-                let class = request.class.index();
-                class_histograms[class].record(latency_us);
-                class_completed[class] += 1;
-                if request.meets_slo(done_us) {
-                    within_budget[class] += 1;
-                }
-                let s = &mut shards[shard];
-                s.histogram.record(latency_us);
-                s.completed += 1;
-                let single_us = s.model.batch_service_us(request.branch, 1);
-                s.backlog_us = s.backlog_us.saturating_sub(single_us);
-                s.class_backlog_us[class] = s.class_backlog_us[class].saturating_sub(single_us);
-                if let Some(split) = split_us {
-                    if done_us < split {
-                        pre_failure.record(latency_us);
-                    } else {
-                        post_failure.record(latency_us);
-                    }
-                }
-                if spawn.is_some() && policy.scale_up_p99_ms > 0.0 {
-                    if recent_latencies.len() == P99_WINDOW {
-                        recent_latencies.pop_front();
-                    }
-                    recent_latencies.push_back(latency_us);
-                }
-            }
-            shards[shard].free_at_us = done_us;
-            shards[shard].pending_since_us = 0;
-            if shards[shard].phase == ShardState::Draining && shards[shard].scheduler.queued() == 0
-            {
-                retire(
-                    &mut shards,
-                    &mut scale_events,
-                    done_us,
-                    shard,
-                    sink,
-                    tracing,
-                );
-            } else if shards[shard].phase == ShardState::Active
-                && shards[shard].scheduler.queued() == 0
-                && policy.idle_retire_us > 0
-                && !shards[shard].idle_check_pending
-            {
-                shards[shard].idle_check_pending = true;
-                push_event(
-                    &mut lifecycle,
-                    done_us + policy.idle_retire_us,
-                    shard,
-                    Action::IdleCheck,
-                );
-            }
-            // Rolling-p99 scale-up trigger.
-            if let Some(kind) = spawn.filter(|_| {
-                policy.scale_up_p99_ms > 0.0
-                    && recent_latencies.len() >= P99_MIN_SAMPLES
-                    && alive_count(&shards) < policy.max_shards
-                    && last_scale_up.is_none_or(|t| done_us >= t.saturating_add(policy.cooldown_us))
-            }) {
-                let mut window: Vec<u64> = recent_latencies.iter().copied().collect();
-                window.sort_unstable();
-                let rank =
-                    f64_to_usize((usize_to_f64(window.len()) * 0.99).ceil()).clamp(1, window.len());
-                let p99_ms = u64_to_f64(window[rank - 1]) / 1_000.0;
-                if p99_ms >= policy.scale_up_p99_ms {
-                    do_spawn(
-                        done_us,
-                        kind,
-                        policy,
-                        &mut shards,
-                        &mut lifecycle,
-                        &mut push_event,
-                        &mut scale_events,
-                        sink,
-                        tracing,
-                    );
-                    last_scale_up = Some(done_us);
                 }
             }
         }
     }
 
-    // Events carry true timestamps but can be appended slightly out of
-    // order (a retirement is stamped at its final batch's completion,
-    // which the loop processes at the batch's start time); a stable sort
-    // restores the promised time order while keeping the causal
-    // fail → up → warm sequence at equal instants.
-    scale_events.sort_by(|a, b| a.at_sec.total_cmp(&b.at_sec));
+    let model0 = shards[0].model.clone();
+    let summaries: Vec<ShardSummary> = shards
+        .into_iter()
+        .map(|s| ShardSummary {
+            scheduler_name: s.scheduler.name(),
+            phase: s.phase,
+            free_at_us: s.free_at_us,
+            busy_us: s.busy_us,
+            issued: s.issued,
+            completed: s.completed,
+            dropped: s.dropped,
+            shed: s.shed,
+            histogram: s.histogram,
+        })
+        .collect();
+    finalize(
+        scenario,
+        config.balancer.name(),
+        admission.name(),
+        &model0,
+        tally,
+        &summaries,
+    )
+}
 
-    let shard_count = shards.len();
-    let total_issued: u64 = issued.iter().sum();
-    let total_completed: u64 = completed.iter().sum();
-    let total_dropped: u64 = dropped.iter().sum();
-    let total_lost: u64 = lost.iter().sum();
-    let total_shed: u64 = shed.iter().sum();
-    let total_within: u64 = within_budget.iter().sum();
-    let total_busy_us: u64 = shards.iter().map(|s| s.busy_us).sum();
-    // Conservation: every issued request retires through exactly one of
-    // completed / dropped / lost / shed. Checked at report assembly, per
-    // branch and per class, and fleet-wide; debug builds only, so every
-    // test run audits the books at zero release cost.
+/// Fleet-wide accumulators shared by the sequential and parallel engines:
+/// every per-branch / per-class / availability counter and histogram that
+/// is not per-shard. All fields are exact-merge (integer sums and
+/// fixed-bucket histogram adds), which is what makes the parallel
+/// engine's shard-order [`Tally::absorb`] reduction bit-identical to the
+/// sequential run.
+pub(crate) struct Tally {
+    pub(crate) issued: Vec<u64>,
+    pub(crate) completed: Vec<u64>,
+    pub(crate) dropped: Vec<u64>,
+    pub(crate) lost: Vec<u64>,
+    pub(crate) shed: Vec<u64>,
+    pub(crate) branch_histograms: Vec<LatencyHistogram>,
+    pub(crate) class_issued: [u64; CLASS_COUNT],
+    pub(crate) class_completed: [u64; CLASS_COUNT],
+    pub(crate) class_dropped: [u64; CLASS_COUNT],
+    pub(crate) class_lost: [u64; CLASS_COUNT],
+    pub(crate) class_shed: [u64; CLASS_COUNT],
+    pub(crate) within_budget: [u64; CLASS_COUNT],
+    pub(crate) class_histograms: [LatencyHistogram; CLASS_COUNT],
+    pub(crate) pre_failure: LatencyHistogram,
+    pub(crate) post_failure: LatencyHistogram,
+    pub(crate) scale_events: Vec<ScaleEvent>,
+    pub(crate) replaced: u64,
+}
+
+impl Tally {
+    pub(crate) fn new(branch_count: usize) -> Self {
+        Self {
+            issued: vec![0; branch_count],
+            completed: vec![0; branch_count],
+            dropped: vec![0; branch_count],
+            lost: vec![0; branch_count],
+            shed: vec![0; branch_count],
+            branch_histograms: (0..branch_count).map(|_| LatencyHistogram::new()).collect(),
+            class_issued: [0; CLASS_COUNT],
+            class_completed: [0; CLASS_COUNT],
+            class_dropped: [0; CLASS_COUNT],
+            class_lost: [0; CLASS_COUNT],
+            class_shed: [0; CLASS_COUNT],
+            within_budget: [0; CLASS_COUNT],
+            class_histograms: std::array::from_fn(|_| LatencyHistogram::new()),
+            pre_failure: LatencyHistogram::new(),
+            post_failure: LatencyHistogram::new(),
+            scale_events: Vec::new(),
+            replaced: 0,
+        }
+    }
+
+    /// Counts every arrival as issued against its branch and class (done
+    /// once, up front, exactly as the frozen loop did).
+    pub(crate) fn count_arrivals(&mut self, arrivals: &[Request]) {
+        for request in arrivals {
+            self.issued[request.branch] += 1;
+            self.class_issued[request.class.index()] += 1;
+        }
+    }
+
+    /// Folds another tally into this one. Every merge is exact (integer
+    /// addition, fixed-bucket histogram merge), so folding per-shard
+    /// tallies in shard-id order reproduces the sequential loop's
+    /// accumulators bit for bit.
+    pub(crate) fn absorb(&mut self, other: &Tally) {
+        for (mine, theirs) in self.issued.iter_mut().zip(&other.issued) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.completed.iter_mut().zip(&other.completed) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.dropped.iter_mut().zip(&other.dropped) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.lost.iter_mut().zip(&other.lost) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.shed.iter_mut().zip(&other.shed) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self
+            .branch_histograms
+            .iter_mut()
+            .zip(&other.branch_histograms)
+        {
+            mine.merge(theirs);
+        }
+        for index in 0..CLASS_COUNT {
+            self.class_issued[index] += other.class_issued[index];
+            self.class_completed[index] += other.class_completed[index];
+            self.class_dropped[index] += other.class_dropped[index];
+            self.class_lost[index] += other.class_lost[index];
+            self.class_shed[index] += other.class_shed[index];
+            self.within_budget[index] += other.within_budget[index];
+            self.class_histograms[index].merge(&other.class_histograms[index]);
+        }
+        self.pre_failure.merge(&other.pre_failure);
+        self.post_failure.merge(&other.post_failure);
+        self.scale_events.extend(other.scale_events.iter().cloned());
+        self.replaced += other.replaced;
+    }
+}
+
+/// The per-shard facts the report needs, detached from the live shard so
+/// [`finalize`] can be shared between the sequential loop and the
+/// parallel engine's worker results.
+pub(crate) struct ShardSummary {
+    pub(crate) scheduler_name: &'static str,
+    pub(crate) phase: ShardState,
+    pub(crate) free_at_us: u64,
+    pub(crate) busy_us: u64,
+    pub(crate) issued: u64,
+    pub(crate) completed: u64,
+    pub(crate) dropped: u64,
+    pub(crate) shed: u64,
+    pub(crate) histogram: LatencyHistogram,
+}
+
+/// Assembles the [`ServeReport`] from the run's accumulators — the exact
+/// arithmetic (and floating-point operation order) of the frozen loop's
+/// report tail, extracted so the sequential and parallel engines share
+/// one implementation. `model0` is shard 0's (priority-override-applied)
+/// service model, which names the branches.
+pub(crate) fn finalize(
+    scenario: &Scenario,
+    balancer_name: &str,
+    admission_name: &str,
+    model0: &ServiceModel,
+    mut tally: Tally,
+    summaries: &[ShardSummary],
+) -> ServeReport {
+    tally
+        .scale_events
+        .sort_by(|a, b| a.at_sec.total_cmp(&b.at_sec));
+
+    let shard_count = summaries.len();
+    let total_issued: u64 = tally.issued.iter().sum();
+    let total_completed: u64 = tally.completed.iter().sum();
+    let total_dropped: u64 = tally.dropped.iter().sum();
+    let total_lost: u64 = tally.lost.iter().sum();
+    let total_shed: u64 = tally.shed.iter().sum();
+    let total_within: u64 = tally.within_budget.iter().sum();
+    let total_busy_us: u64 = summaries.iter().map(|s| s.busy_us).sum();
     debug_assert_eq!(
         total_completed + total_dropped + total_lost + total_shed,
         total_issued,
         "fleet-wide request conservation violated"
     );
-    for index in 0..issued.len() {
+    for index in 0..tally.issued.len() {
         debug_assert_eq!(
-            completed[index] + dropped[index] + lost[index] + shed[index],
-            issued[index],
+            tally.completed[index] + tally.dropped[index] + tally.lost[index] + tally.shed[index],
+            tally.issued[index],
             "branch {index} request conservation violated"
         );
     }
-    for index in 0..class_issued.len() {
+    for index in 0..tally.class_issued.len() {
         debug_assert_eq!(
-            class_completed[index] + class_dropped[index] + class_lost[index] + class_shed[index],
-            class_issued[index],
+            tally.class_completed[index]
+                + tally.class_dropped[index]
+                + tally.class_lost[index]
+                + tally.class_shed[index],
+            tally.class_issued[index],
             "class {index} request conservation violated"
         );
     }
-    // Per shard the `lost` term vanishes: a lost request was orphaned off
-    // its dead shard's books (and never reached a live one), so it belongs
-    // to no shard at all.
-    for (index, s) in shards.iter().enumerate() {
+    for (index, s) in summaries.iter().enumerate() {
         debug_assert_eq!(
             s.completed + s.dropped + s.shed,
             s.issued,
             "shard {index} request conservation violated"
         );
     }
-    let makespan_us = shards.iter().map(|s| s.free_at_us).max().unwrap_or(0);
+    let makespan_us = summaries.iter().map(|s| s.free_at_us).max().unwrap_or(0);
     let makespan_sec = u64_to_f64(makespan_us) / 1e6;
-    // The fleet-wide latency distribution is the exact merge of the
-    // per-shard histograms (fixed buckets make the merge lossless).
     let mut overall = LatencyHistogram::new();
-    for shard in &shards {
+    for shard in summaries {
         overall.merge(&shard.histogram);
     }
-    let branches = shards[0]
-        .model
+    let branches = model0
         .branches
         .iter()
         .enumerate()
         .map(|(index, service)| BranchServeStats {
             name: service.name.clone(),
             priority: service.priority,
-            issued: issued[index],
-            completed: completed[index],
-            dropped: dropped[index],
-            lost: lost[index],
-            shed: shed[index],
-            latency: LatencySummary::of(&branch_histograms[index]),
+            issued: tally.issued[index],
+            completed: tally.completed[index],
+            dropped: tally.dropped[index],
+            lost: tally.lost[index],
+            shed: tally.shed[index],
+            latency: LatencySummary::of(&tally.branch_histograms[index]),
         })
         .collect();
     let classes: Vec<ClassServeStats> = QosClass::all()
@@ -1030,17 +1233,20 @@ fn run<'a>(
                 class: *class,
                 budget_ms: class.budget_ms(),
                 weight: class.weight(),
-                issued: class_issued[index],
-                completed: class_completed[index],
-                dropped: class_dropped[index],
-                lost: class_lost[index],
-                shed: class_shed[index],
-                slo_attainment: attainment(within_budget[index], class_completed[index]),
-                latency: LatencySummary::of(&class_histograms[index]),
+                issued: tally.class_issued[index],
+                completed: tally.class_completed[index],
+                dropped: tally.class_dropped[index],
+                lost: tally.class_lost[index],
+                shed: tally.class_shed[index],
+                slo_attainment: attainment(
+                    tally.within_budget[index],
+                    tally.class_completed[index],
+                ),
+                latency: LatencySummary::of(&tally.class_histograms[index]),
             }
         })
         .collect();
-    let shard_stats: Vec<ShardStats> = shards
+    let shard_stats: Vec<ShardStats> = summaries
         .iter()
         .map(|s| ShardStats {
             issued: s.issued,
@@ -1057,8 +1263,8 @@ fn run<'a>(
         })
         .collect();
     let imbalance = {
-        let max = shards.iter().map(|s| s.busy_us).max().unwrap_or(0);
-        let min = shards.iter().map(|s| s.busy_us).min().unwrap_or(0);
+        let max = summaries.iter().map(|s| s.busy_us).max().unwrap_or(0);
+        let min = summaries.iter().map(|s| s.busy_us).min().unwrap_or(0);
         let mean = u64_to_f64(total_busy_us) / usize_to_f64(shard_count);
         if mean > 0.0 {
             u64_to_f64(max - min) / mean
@@ -1066,21 +1272,18 @@ fn run<'a>(
             0.0
         }
     };
-    // A fleet built by `simulate_fleet` runs one discipline everywhere;
-    // caller-provided shard schedulers may mix disciplines, and the report
-    // says so rather than quoting shard 0 for the whole fleet.
-    let scheduler_name = if shards
+    let scheduler_name = if summaries
         .iter()
-        .all(|s| s.scheduler.name() == shards[0].scheduler.name())
+        .all(|s| s.scheduler_name == summaries[0].scheduler_name)
     {
-        shards[0].scheduler.name()
+        summaries[0].scheduler_name
     } else {
         "mixed"
     };
     ServeReport {
         scenario: scenario.name.clone(),
         scheduler: scheduler_name.to_owned(),
-        balancer: config.balancer.name().to_owned(),
+        balancer: balancer_name.to_owned(),
         seed: scenario.seed,
         sessions: scenario.sessions,
         issued: total_issued,
@@ -1106,26 +1309,24 @@ fn run<'a>(
         latency: LatencySummary::of(&overall),
         branches,
         shards: shard_stats,
-        replaced,
+        replaced: tally.replaced,
         lost: total_lost,
         availability: if total_issued == 0 {
             1.0
         } else {
             u64_to_f64(total_completed) / u64_to_f64(total_issued)
         },
-        latency_pre_failure: LatencySummary::of(&pre_failure),
-        latency_post_failure: LatencySummary::of(&post_failure),
-        scale_events,
+        latency_pre_failure: LatencySummary::of(&tally.pre_failure),
+        latency_post_failure: LatencySummary::of(&tally.post_failure),
+        scale_events: tally.scale_events,
         shed: total_shed,
-        admission: admission.name().to_owned(),
+        admission: admission_name.to_owned(),
         slo_attainment: attainment(total_within, total_completed),
         classes,
         trace_summary: None,
     }
 }
 
-/// SLO attainment: completions within budget over completions, 1.0 when
-/// nothing completed (vacuously met).
 fn attainment(within: u64, completed: u64) -> f64 {
     if completed == 0 {
         1.0
@@ -1216,8 +1417,8 @@ fn do_spawn<'a>(
     kind: SchedulerKind,
     policy: &Autoscaler,
     shards: &mut Vec<Shard<'a>>,
-    lifecycle: &mut Vec<Lifecycle>,
-    push_event: &mut impl FnMut(&mut Vec<Lifecycle>, u64, usize, Action),
+    calendar: &mut Calendar<CalEvent>,
+    life_seq: &mut u64,
     scale_events: &mut Vec<ScaleEvent>,
     sink: &mut dyn TraceSink,
     tracing: bool,
@@ -1225,11 +1426,18 @@ fn do_spawn<'a>(
     let shard = shards.len();
     let template = shards[0].model.clone();
     shards.push(Shard::new(template, kind.build(), ShardState::Warming));
-    push_event(lifecycle, now_us + policy.warmup_us, shard, Action::Warm);
+    push_life(
+        calendar,
+        life_seq,
+        now_us + policy.warmup_us,
+        shard,
+        Action::Warm,
+    );
     if policy.idle_retire_us > 0 {
         shards[shard].idle_check_pending = true;
-        push_event(
-            lifecycle,
+        push_life(
+            calendar,
+            life_seq,
             now_us + policy.warmup_us + policy.idle_retire_us,
             shard,
             Action::IdleCheck,

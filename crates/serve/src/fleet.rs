@@ -249,6 +249,38 @@ impl Balancer {
         shard
     }
 
+    /// O(1) placement for the engine's dense fast path: valid only while
+    /// *every* shard in `0..shard_count` is placeable (a static fleet
+    /// untouched by lifecycle events). Round-robin advances the same
+    /// cursor arithmetic as [`Balancer::place`] over a full candidate
+    /// slice; branch-sharding is pure arithmetic. The load-aware kinds
+    /// return `None` — they need the candidates' live loads.
+    pub(crate) fn place_all_active(
+        &mut self,
+        request: &Request,
+        shard_count: usize,
+    ) -> Option<usize> {
+        match self.kind {
+            LoadBalancerKind::RoundRobin => {
+                let shard = self.next_round_robin % shard_count;
+                self.next_round_robin = (self.next_round_robin + 1) % shard_count;
+                Some(shard)
+            }
+            LoadBalancerKind::BranchSharded => Some(request.branch % shard_count),
+            LoadBalancerKind::LeastLoaded | LoadBalancerKind::AffinityFirst => None,
+        }
+    }
+
+    /// Pre-sizes the affinity table for `sessions` sessions so the
+    /// affinity-first policy never re-grows it mid-run (a no-op for every
+    /// other policy). Purely an allocation hint: an unpinned entry reads
+    /// as `None` either way.
+    pub(crate) fn reserve_sessions(&mut self, sessions: usize) {
+        if self.kind == LoadBalancerKind::AffinityFirst && self.affinity.len() < sessions {
+            self.affinity.resize(sessions, None);
+        }
+    }
+
     /// Records a successful admission so affinity follows the shard that
     /// last served the session's identity.
     pub(crate) fn note_admitted(&mut self, session: usize, shard: usize) {

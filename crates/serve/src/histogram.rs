@@ -193,6 +193,109 @@ mod tests {
         assert_eq!(merged.count(), left.count() + right.count());
     }
 
+    // ---- merge-order audit for the parallel engine's tally fold ----
+    //
+    // The parallel engine accumulates one histogram per worker and folds
+    // the worker histograms in whatever order the workers finish their
+    // shards on disjoint strides; `finalize` then merges per-shard
+    // histograms in shard-id order. Both are only exact because `merge`
+    // is a pure element-wise integer add: commutative, associative, with
+    // the empty histogram as identity. These tests pin that contract.
+
+    fn shard_histograms() -> Vec<LatencyHistogram> {
+        (0..8u64)
+            .map(|shard| {
+                let mut h = LatencyHistogram::new();
+                for i in 0..(shard + 1) * 3 {
+                    // A spread per shard: in-range, bucket-boundary and
+                    // overflow observations.
+                    h.record(shard * 1_999 + i * 977);
+                    h.record(BUCKET_WIDTH_US * (shard + i));
+                }
+                if shard % 3 == 0 {
+                    h.record(60_000_000 + shard);
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let shards = shard_histograms();
+        let mut ab = shards[2].clone();
+        ab.merge(&shards[5]);
+        let mut ba = shards[5].clone();
+        ba.merge(&shards[2]);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let shards = shard_histograms();
+        let mut left_first = shards[0].clone();
+        left_first.merge(&shards[1]);
+        left_first.merge(&shards[2]);
+        let mut right_first = shards[1].clone();
+        right_first.merge(&shards[2]);
+        let mut outer = shards[0].clone();
+        outer.merge(&right_first);
+        assert_eq!(left_first, outer);
+    }
+
+    #[test]
+    fn merging_the_empty_histogram_is_identity() {
+        let shards = shard_histograms();
+        let mut merged = shards[3].clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, shards[3]);
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&shards[3]);
+        assert_eq!(from_empty, shards[3]);
+    }
+
+    #[test]
+    fn merge_order_across_shards_is_irrelevant() {
+        // Fold the same eight shard histograms in shard-id order, reverse
+        // order and a strided (worker-interleaved) order: identical
+        // structs, hence identical percentiles in the merged report.
+        let shards = shard_histograms();
+        let mut forward = LatencyHistogram::new();
+        for h in &shards {
+            forward.merge(h);
+        }
+        let mut reverse = LatencyHistogram::new();
+        for h in shards.iter().rev() {
+            reverse.merge(h);
+        }
+        let mut strided = LatencyHistogram::new();
+        for worker in 0..3 {
+            for h in shards.iter().skip(worker).step_by(3) {
+                strided.merge(h);
+            }
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, strided);
+        assert_eq!(forward.percentile_ms(99.0), strided.percentile_ms(99.0));
+    }
+
+    #[test]
+    fn percentile_rank_edges_are_exact() {
+        // Four observations, one per bucket: rank edges 25/50/75/100 land
+        // exactly on each observation's bucket, and any p in (0, 25] maps
+        // to rank 1 (ceil semantics — never rank 0).
+        let mut h = LatencyHistogram::new();
+        for bucket in 0u64..4 {
+            h.record(bucket * BUCKET_WIDTH_US + 1_000);
+        }
+        assert_eq!(h.percentile_ms(0.1), 2.0);
+        assert_eq!(h.percentile_ms(25.0), 2.0);
+        assert_eq!(h.percentile_ms(25.1), 4.0);
+        assert_eq!(h.percentile_ms(50.0), 4.0);
+        assert_eq!(h.percentile_ms(75.0), 6.0);
+        assert_eq!(h.percentile_ms(100.0), 7.0); // clamped to the max (7 ms)
+    }
+
     #[test]
     fn mean_tracks_the_sum() {
         let mut h = LatencyHistogram::new();

@@ -41,6 +41,15 @@
 //!   fourth terminal outcome with conservation `completed + dropped +
 //!   lost + shed == issued`. The classless path is the
 //!   everyone-is-`Standard` + admit-all special case, bit for bit.
+//! - **Scale** ([`calendar::Calendar`], [`simulate_fleet_parallel`]): the
+//!   loop is driven by an indexed event calendar (a binary min-heap with a
+//!   total, deterministic key order) instead of per-iteration linear
+//!   scans, and static fleets under load-oblivious balancers decompose
+//!   across worker threads with an exact-merge reduction — both
+//!   byte-identical to the frozen pre-rebuild engine
+//!   ([`reference`]), pinned by a differential equivalence battery. The
+//!   [`Scenario::metropolis`] workload (1.05 M sessions) exercises the
+//!   path at fleet scale.
 //! - **Reporting** ([`ServeReport`]): throughput, utilization, drop rate
 //!   and p50/p95/p99 latency from a fixed-bucket histogram
 //!   ([`LatencyHistogram`]), plus per-shard utilization/imbalance
@@ -87,13 +96,16 @@
 
 mod admission;
 mod autoscale;
+pub mod calendar;
 mod cast;
 mod engine;
 mod fleet;
 mod histogram;
 pub mod json;
 mod model;
+mod parallel;
 mod qos;
+pub mod reference;
 mod report;
 mod request;
 mod scenario;
@@ -111,6 +123,9 @@ pub use engine::{
 pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
 pub use model::{BranchService, ServiceModel};
+pub use parallel::{
+    simulate_fleet_parallel, simulate_fleet_qos_parallel, simulate_fleet_traced_parallel,
+};
 pub use qos::{ClassMix, QosClass, CLASS_COUNT};
 pub use report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport, ShardStats};
 pub use request::Request;

@@ -101,6 +101,16 @@ impl ServiceModel {
         (b.fill_time_us + usize_to_u64(batch_len) * b.frame_time_us).max(1)
     }
 
+    /// Per-branch single-request service cost
+    /// (`batch_service_us(branch, 1)`), resolved once so the engine's
+    /// per-arrival admission view and per-completion backlog accounting
+    /// are table lookups on the hot path.
+    pub fn single_costs(&self) -> Vec<u64> {
+        (0..self.branch_count())
+            .map(|branch| self.batch_service_us(branch, 1))
+            .collect()
+    }
+
     /// Priority weight of `branch` (1.0 when out of range).
     pub fn priority(&self, branch: usize) -> f64 {
         self.branches.get(branch).map_or(1.0, |b| b.priority)

@@ -1,0 +1,492 @@
+//! Parallel shard execution: the same deterministic simulation, spread
+//! across worker threads.
+//!
+//! A static fleet under a *load-oblivious* balancer (round-robin or
+//! branch-sharded) with a *stateless* admission controller decomposes
+//! exactly: placement is pure arithmetic over the arrival index or
+//! branch, nothing a shard does ever influences where the next request
+//! lands, and the report is an exact-merge reduction over per-shard
+//! accumulators ([`Tally::absorb`]). So each shard's discrete-event loop
+//! can run on its own thread against its own pre-partitioned arrival
+//! slice, and folding the per-shard tallies and summaries in shard-id
+//! order reproduces the sequential engine's [`ServeReport`] **byte for
+//! byte** — the equivalence battery pins `simulate_fleet_parallel` against
+//! [`crate::engine::simulate_fleet`] (and the frozen [`crate::reference`])
+//! at every worker count.
+//!
+//! Trace streams merge deterministically too: the sequential loop
+//! processes, at each instant, arrivals before dispatches (in arrival
+//! order) and dispatches in shard-id order, so each worker tags every
+//! emitted event with its *step key* `(instant, lane, arrival-id | shard,
+//! within-step index)` and the merged stream is a plain sort — identical
+//! to the sequential [`crate::engine::simulate_traced`] recording.
+//!
+//! Anything outside the decomposable regime — a load-aware balancer
+//! (least-loaded, affinity-first), one shard, or `workers <= 1` — falls
+//! back to the sequential engine, which is bit-identical by definition.
+
+use fcad_obs::{BatchEvent, Off, RequestEventKind, TraceEvent, TraceSink};
+
+use crate::admission::{admit_traced, AdmissionController, AdmissionKind};
+use crate::autoscale::{Autoscaler, FailurePlan, ShardState};
+use crate::calendar::{LANE_ARRIVAL, LANE_DISPATCH};
+use crate::cast::usize_to_u64;
+use crate::engine::{finalize, simulate_traced, Shard, ShardSummary, Tally};
+use crate::fleet::{FleetConfig, LoadBalancerKind};
+use crate::model::ServiceModel;
+use crate::report::ServeReport;
+use crate::request::Request;
+use crate::scenario::Scenario;
+use crate::scheduler::SchedulerKind;
+
+/// [`crate::engine::simulate_fleet`] executed across `workers` threads.
+///
+/// Identical `(config, scenario, kind)` inputs produce a report
+/// byte-identical to the sequential engine at **every** worker count;
+/// `workers <= 1`, a single shard, or a load-aware balancer run the
+/// sequential loop directly.
+pub fn simulate_fleet_parallel(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    workers: usize,
+) -> ServeReport {
+    simulate_fleet_qos_parallel(config, scenario, kind, AdmissionKind::AdmitAll, workers)
+}
+
+/// [`crate::engine::simulate_fleet_qos`] executed across `workers`
+/// threads. [`AdmissionKind::AdmitAll`] reproduces
+/// [`simulate_fleet_parallel`] bit for bit; every admission controller is
+/// stateless, so per-shard instances decide exactly as the sequential
+/// loop's shared instance does.
+pub fn simulate_fleet_qos_parallel(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    workers: usize,
+) -> ServeReport {
+    simulate_fleet_traced_parallel(config, scenario, kind, admission, &mut Off, workers)
+}
+
+/// The traced parallel entry point: [`simulate_fleet_qos_parallel`] with
+/// every engine event delivered to `sink`, in the exact order the
+/// sequential [`crate::engine::simulate_traced`] would record them (the
+/// per-worker streams carry deterministic step keys and merge by sort).
+pub fn simulate_fleet_traced_parallel(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    sink: &mut dyn TraceSink,
+    workers: usize,
+) -> ServeReport {
+    let decomposable = matches!(
+        config.balancer,
+        LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
+    );
+    if workers <= 1 || config.shard_count() <= 1 || !decomposable {
+        return simulate_traced(
+            config,
+            scenario,
+            kind,
+            &Autoscaler::none(),
+            &FailurePlan::none(),
+            admission,
+            sink,
+        );
+    }
+    config.assert_valid();
+    let branch_count = config.branch_count();
+    let shard_count = config.shard_count();
+    let arrivals = scenario.generate(branch_count);
+    let capacity = scenario.queue_capacity;
+    let tracing = sink.enabled();
+
+    // Replay the load-oblivious placement law: round-robin is the global
+    // arrival index modulo the fleet (the balancer cursor advances once
+    // per arrival in an all-active fleet), branch-sharded is the branch
+    // modulo the fleet. Load-aware kinds took the sequential path above.
+    let mut per_shard: Vec<Vec<Request>> = (0..shard_count).map(|_| Vec::new()).collect();
+    for (index, request) in arrivals.iter().enumerate() {
+        let dst = match config.balancer {
+            LoadBalancerKind::BranchSharded => request.branch % shard_count,
+            _ => index % shard_count,
+        };
+        per_shard[dst].push(*request);
+    }
+
+    let mut tally = Tally::new(branch_count);
+    tally.count_arrivals(&arrivals);
+
+    let priority_model = |shard: usize| -> ServiceModel {
+        match &scenario.priorities {
+            Some(priorities) => config.shards[shard].clone().with_priorities(priorities),
+            None => config.shards[shard].clone(),
+        }
+    };
+    let model0 = priority_model(0);
+
+    // Strided shard → worker assignment, joined and folded in shard-id
+    // order so the exact-merge reduction is deterministic.
+    let worker_count = workers.min(shard_count);
+    let mut assignments: Vec<Vec<(usize, Vec<Request>, ServiceModel)>> =
+        (0..worker_count).map(|_| Vec::new()).collect();
+    for (shard, slice) in per_shard.into_iter().enumerate() {
+        assignments[shard % worker_count].push((shard, slice, priority_model(shard)));
+    }
+    let mut slots: Vec<Option<ShardSummary>> = (0..shard_count).map(|_| None).collect();
+    let mut trace: Vec<(StepKey, TraceEvent)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .into_iter()
+            .map(|mine| {
+                scope.spawn(move || {
+                    // One tally per *worker*, not per shard: every tally
+                    // merge is a commutative, associative integer add (or
+                    // fixed-bucket histogram add), so accumulating each
+                    // worker's shards into one tally and folding the
+                    // worker tallies afterwards is exact regardless of
+                    // order — and avoids allocating a histogram set per
+                    // shard.
+                    let mut worker_tally = Tally::new(branch_count);
+                    let shards: Vec<(usize, ShardOutcome)> = mine
+                        .into_iter()
+                        .map(|(shard, slice, model)| {
+                            let mut controller = admission.build();
+                            (
+                                shard,
+                                simulate_shard(
+                                    shard,
+                                    model,
+                                    kind,
+                                    controller.as_mut(),
+                                    &slice,
+                                    capacity,
+                                    &mut worker_tally,
+                                    tracing,
+                                ),
+                            )
+                        })
+                        .collect();
+                    (worker_tally, shards)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (worker_tally, shards) = handle.join().expect("worker thread panicked");
+            tally.absorb(&worker_tally);
+            for (shard, outcome) in shards {
+                slots[shard] = Some(outcome.summary);
+                trace.extend(outcome.trace);
+            }
+        }
+    });
+
+    let summaries: Vec<ShardSummary> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard was assigned to a worker"))
+        .collect();
+    if tracing {
+        // Step keys are globally unique — (instant, arrival id) for
+        // arrival steps, (instant, shard) for dispatch steps, plus the
+        // within-step index — so the sort *is* the sequential order.
+        trace.sort_unstable_by_key(|(key, _)| *key);
+        for (_, event) in trace {
+            sink.record(event);
+        }
+    }
+
+    let name_holder = admission.build();
+    finalize(
+        scenario,
+        config.balancer.name(),
+        name_holder.name(),
+        &model0,
+        tally,
+        &summaries,
+    )
+}
+
+/// The processing-step key ordering merged trace events: the instant, the
+/// lane (arrivals before dispatches, exactly the engine's tie rule), the
+/// in-lane tiebreak (arrival id — global arrival order within an instant —
+/// or dispatching shard id), and the event's index within its step.
+type StepKey = (u64, u8, u64, u64);
+
+/// A shard-tagging trace sink: every recorded event is stamped with the
+/// current processing-step key so per-worker streams merge into the
+/// sequential recording order by a plain sort.
+struct StepSink {
+    on: bool,
+    at_us: u64,
+    lane: u8,
+    tie: u64,
+    seq: u64,
+    events: Vec<(StepKey, TraceEvent)>,
+}
+
+impl StepSink {
+    fn new(on: bool) -> Self {
+        Self {
+            on,
+            at_us: 0,
+            lane: LANE_ARRIVAL,
+            tie: 0,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn begin_step(&mut self, at_us: u64, lane: u8, tie: u64) {
+        self.at_us = at_us;
+        self.lane = lane;
+        self.tie = tie;
+        self.seq = 0;
+    }
+}
+
+impl TraceSink for StepSink {
+    fn enabled(&self) -> bool {
+        self.on
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.events
+            .push(((self.at_us, self.lane, self.tie, self.seq), event));
+        self.seq += 1;
+    }
+}
+
+/// One shard's worker result: its report summary and its step-keyed
+/// trace events (fleet-wide counters accumulate straight into the
+/// worker's tally; arrival `issued` counts are tallied once by the
+/// caller).
+struct ShardOutcome {
+    summary: ShardSummary,
+    trace: Vec<(StepKey, TraceEvent)>,
+}
+
+/// Runs one shard's discrete-event loop over its pre-partitioned arrival
+/// slice — the static-fleet restriction of the engine's loop: only
+/// arrival and dispatch events exist, the shard never leaves
+/// [`ShardState::Active`], and arrivals win same-instant ties against
+/// dispatches exactly as the calendar's lane order dictates.
+#[allow(clippy::too_many_arguments)]
+fn simulate_shard(
+    shard_id: usize,
+    model: ServiceModel,
+    kind: SchedulerKind,
+    admission: &mut dyn AdmissionController,
+    arrivals: &[Request],
+    capacity: usize,
+    tally: &mut Tally,
+    tracing: bool,
+) -> ShardOutcome {
+    let mut sink = StepSink::new(tracing);
+    let mut shard = Shard::new(model, kind.build(), ShardState::Active);
+    let mut next_arrival = 0usize;
+    loop {
+        let due_arrival = arrivals.get(next_arrival).copied();
+        if due_arrival.is_none() && shard.scheduler.queued() == 0 {
+            break;
+        }
+        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
+        if shard.scheduler.queued() > 0 && shard.dispatch_at() < arrival_at {
+            let now_us = shard.dispatch_at();
+            sink.begin_step(now_us, LANE_DISPATCH, usize_to_u64(shard_id));
+            let batch = shard.scheduler.next_batch(&shard.model, now_us, &[]);
+            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+            let branch = batch[0].branch;
+            debug_assert!(batch.iter().all(|r| r.branch == branch));
+            let service_us = shard.model.batch_service_us(branch, batch.len());
+            let done_us = now_us + service_us;
+            shard.busy_us += service_us;
+            if tracing {
+                sink.record(TraceEvent::Batch(BatchEvent {
+                    at_us: now_us,
+                    shard: shard_id,
+                    branch,
+                    len: batch.len(),
+                    service_us,
+                }));
+            }
+            for request in &batch {
+                let latency_us = request.latency_us(done_us);
+                if tracing {
+                    sink.record(request.trace(
+                        now_us,
+                        Some(shard_id),
+                        RequestEventKind::ServiceStart,
+                    ));
+                    sink.record(request.trace(
+                        done_us,
+                        Some(shard_id),
+                        RequestEventKind::Complete { latency_us },
+                    ));
+                }
+                tally.branch_histograms[request.branch].record(latency_us);
+                tally.completed[request.branch] += 1;
+                let class = request.class.index();
+                tally.class_histograms[class].record(latency_us);
+                tally.class_completed[class] += 1;
+                if request.meets_slo(done_us) {
+                    tally.within_budget[class] += 1;
+                }
+                shard.histogram.record(latency_us);
+                shard.completed += 1;
+                let single_us = shard.single_cost_us[request.branch];
+                shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
+                shard.class_backlog_us[class] =
+                    shard.class_backlog_us[class].saturating_sub(single_us);
+            }
+            shard.free_at_us = done_us;
+            shard.pending_since_us = 0;
+        } else {
+            let request = due_arrival.expect("arrival_at is finite");
+            next_arrival += 1;
+            let now_us = request.issued_at_us;
+            sink.begin_step(now_us, LANE_ARRIVAL, request.id);
+            if tracing {
+                sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Arrival));
+            }
+            shard.issued += 1;
+            let single_us = shard.single_cost_us[request.branch];
+            let view = shard.admission_view(capacity, single_us, request.branch);
+            if !admit_traced(
+                admission, &request, &view, now_us, shard_id, &mut sink, tracing,
+            ) {
+                tally.shed[request.branch] += 1;
+                tally.class_shed[request.class.index()] += 1;
+                shard.shed += 1;
+            } else if shard.scheduler.queued() >= capacity {
+                tally.dropped[request.branch] += 1;
+                tally.class_dropped[request.class.index()] += 1;
+                shard.dropped += 1;
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Drop));
+                }
+            } else {
+                if shard.scheduler.queued() == 0 {
+                    shard.pending_since_us = now_us;
+                }
+                shard.backlog_us += single_us;
+                shard.class_backlog_us[request.class.index()] += single_us;
+                shard.scheduler.enqueue(request, now_us);
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Enqueue));
+                }
+            }
+        }
+    }
+    let summary = ShardSummary {
+        scheduler_name: shard.scheduler.name(),
+        phase: shard.phase,
+        free_at_us: shard.free_at_us,
+        busy_us: shard.busy_us,
+        issued: shard.issued,
+        completed: shard.completed,
+        dropped: shard.dropped,
+        shed: shard.shed,
+        histogram: shard.histogram,
+    };
+    ShardOutcome {
+        summary,
+        trace: sink.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_fleet, simulate_fleet_qos};
+    use crate::model::test_model;
+
+    fn fleet(shards: usize, balancer: LoadBalancerKind) -> FleetConfig {
+        let mut config = FleetConfig::uniform(test_model(), shards);
+        config.balancer = balancer;
+        config
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_worker_count() {
+        let config = fleet(4, LoadBalancerKind::RoundRobin);
+        let scenario = Scenario::a2_fleet(4);
+        let sequential = simulate_fleet(&config, &scenario, SchedulerKind::BatchAggregating);
+        for workers in [1, 2, 3, 4, 8] {
+            let parallel = simulate_fleet_parallel(
+                &config,
+                &scenario,
+                SchedulerKind::BatchAggregating,
+                workers,
+            );
+            assert_eq!(
+                sequential.to_json_line(),
+                parallel.to_json_line(),
+                "worker count {workers} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_sharded_and_qos_admission_decompose_too() {
+        let config = fleet(3, LoadBalancerKind::BranchSharded);
+        let scenario = Scenario::b2_qos().with_sessions(12);
+        for admission in [
+            AdmissionKind::AdmitAll,
+            AdmissionKind::QueueThreshold,
+            AdmissionKind::BudgetAware,
+        ] {
+            let sequential = simulate_fleet_qos(
+                &config,
+                &scenario,
+                SchedulerKind::PriorityByBranch,
+                admission,
+            );
+            let parallel = simulate_fleet_qos_parallel(
+                &config,
+                &scenario,
+                SchedulerKind::PriorityByBranch,
+                admission,
+                4,
+            );
+            assert_eq!(sequential.to_json_line(), parallel.to_json_line());
+        }
+    }
+
+    #[test]
+    fn load_aware_balancers_fall_back_to_the_sequential_engine() {
+        let config = fleet(3, LoadBalancerKind::LeastLoaded);
+        let scenario = Scenario::b1_fleet(3);
+        let sequential = simulate_fleet(&config, &scenario, SchedulerKind::Fifo);
+        let parallel = simulate_fleet_parallel(&config, &scenario, SchedulerKind::Fifo, 4);
+        assert_eq!(sequential.to_json_line(), parallel.to_json_line());
+    }
+
+    #[test]
+    fn traced_parallel_replays_the_sequential_event_stream() {
+        let config = fleet(3, LoadBalancerKind::RoundRobin);
+        let scenario = Scenario::b2_fleet(3);
+        let mut sequential_rec = fcad_obs::Recorder::new();
+        let sequential = simulate_traced(
+            &config,
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            &Autoscaler::none(),
+            &FailurePlan::none(),
+            AdmissionKind::QueueThreshold,
+            &mut sequential_rec,
+        );
+        let mut parallel_rec = fcad_obs::Recorder::new();
+        let parallel = simulate_fleet_traced_parallel(
+            &config,
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            AdmissionKind::QueueThreshold,
+            &mut parallel_rec,
+            4,
+        );
+        assert_eq!(sequential.to_json_line(), parallel.to_json_line());
+        assert_eq!(sequential_rec.events(), parallel_rec.events());
+    }
+}

@@ -32,6 +32,7 @@ pub struct Request {
 impl Request {
     /// Latency of this request if it completes at `done_us`, in
     /// microseconds.
+    #[inline]
     pub fn latency_us(&self, done_us: u64) -> u64 {
         done_us.saturating_sub(self.issued_at_us)
     }
@@ -58,6 +59,7 @@ impl Request {
     }
 
     /// Whether completing at `done_us` meets this request's class budget.
+    #[inline]
     pub fn meets_slo(&self, done_us: u64) -> bool {
         self.latency_us(done_us) <= self.class.budget_us()
     }

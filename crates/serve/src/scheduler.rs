@@ -3,12 +3,43 @@
 //! The engine owns admission (queue capacity and drops); schedulers own
 //! ordering and batching. All queued requests have already arrived, so a
 //! scheduler may inspect the whole queue when picking the next dispatch.
+//!
+//! # Heap-backed ready queues
+//!
+//! The weighted-priority and batch-aggregating disciplines used to rescan
+//! every `(branch, class)` FIFO per dispatch — O(branches × classes) per
+//! pop. They now keep incrementally-maintained head indexes (binary heaps
+//! over the queue heads, invalidated lazily by per-queue stamps) so a pop
+//! is O(log queues), while reproducing the rescan's pick *bit for bit*:
+//!
+//! - [`BatchScheduler`] ordered purely by `(head arrival, branch)` — an
+//!   integer key, so one min-heap over the heads is exactly the rescan.
+//! - [`PriorityScheduler`] scores heads with floats
+//!   (`class weight × branch priority + aging · wait`), and *recomputing*
+//!   that score from a different algebraic form can differ in the last
+//!   ulp — enough to flip the rescan's tie-break. The index therefore
+//!   groups heads by the exact bit pattern of their
+//!   `class weight × branch priority` term: within a group the score is a
+//!   monotone function of arrival time alone, so an integer
+//!   `(arrival, branch, class)` heap reproduces the rescan's order
+//!   exactly, and only the ≤ groups (≤ branches × classes) group-best
+//!   heads ever have their scores evaluated — with the *same* expression
+//!   the rescan used.
+//!
+//! The engine's hot path passes an empty readiness hint (every branch is
+//! dispatchable the moment the shard's fabric frees), which is the indexed
+//! path. A non-empty `branch_free_us` falls back to the frozen rescan —
+//! the ready/busy split depends on per-branch state the index does not
+//! model — and fixes the index up afterwards, so mixed call patterns stay
+//! consistent. The differential battery in `tests/engine_equivalence.rs`
+//! pins both paths against [`crate::reference`].
 
 use crate::cast::u64_to_f64;
 use crate::model::ServiceModel;
 use crate::qos::CLASS_COUNT;
 use crate::request::Request;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A scheduling discipline: accepts admitted requests and, whenever the
 /// shared weight-streaming DMA is free, picks the next same-branch batch
@@ -141,6 +172,28 @@ impl Scheduler for FifoScheduler {
     }
 }
 
+/// A head-index entry: `(arrival key, branch, class, stamp)`. The stamp
+/// must match the queue's current stamp for the entry to be live; stale
+/// entries are discarded lazily when they surface at the heap top.
+type HeadEntry = Reverse<(u64, usize, usize, u64)>;
+
+/// One weight-product group of the priority head index: every queue whose
+/// head scores `wp + aging · wait` for this exact `wp` bit pattern. See
+/// the module docs for why grouping by bits is what makes the index
+/// bit-identical to the frozen rescan.
+#[derive(Debug)]
+struct WeightGroup {
+    /// `class weight × branch priority`, the exact `f64` the rescan's
+    /// score expression produces for every head in this group.
+    wp: f64,
+    /// Min-heap over the group's queue heads, keyed
+    /// `(arrival, branch, class)`: within a fixed `wp` the score is
+    /// monotone non-increasing in arrival time, and the rescan breaks
+    /// exact score ties on the lowest `(branch, class)` — so the heap
+    /// minimum *is* the rescan's pick restricted to this group.
+    heads: BinaryHeap<HeadEntry>,
+}
+
 /// Weighted cross-class priority: serves the `(branch, class)` queue whose
 /// head request has the highest `class weight × branch priority +
 /// aging_per_sec · wait` score, FIFO within a queue, one request per
@@ -157,12 +210,29 @@ impl Scheduler for FifoScheduler {
 /// linearly with its waiting time until it overtakes the high-weight
 /// queues. With `aging_per_sec = 0` the discipline degenerates to strict
 /// weighted priorities.
+///
+/// Picks are O(log queues) through the grouped head index (module docs);
+/// the index assumes simulation time is monotone (no queued request
+/// arrives after `now_us`), which the engine guarantees by construction.
 #[derive(Debug)]
 pub struct PriorityScheduler {
     /// One FIFO per `(branch, class)`, branch-major.
     queues: Vec<[VecDeque<Request>; CLASS_COUNT]>,
     queued: usize,
     aging_per_sec: f64,
+    /// Per-`(branch, class)` head stamp, bumped on every pop so index
+    /// entries for superseded heads die lazily.
+    stamps: Vec<[u64; CLASS_COUNT]>,
+    /// The head index, grouped by weight-product bit pattern. At most
+    /// `branches × CLASS_COUNT` groups ever exist.
+    groups: Vec<WeightGroup>,
+    /// Queues that went empty → non-empty since the last `next_batch`.
+    /// Indexing needs the model (for the branch priority), which
+    /// `enqueue` does not receive, so it is deferred to the next pick.
+    dirty: Vec<(usize, usize)>,
+    /// Bit patterns of the per-branch priorities the index was built
+    /// against; a model with different priorities forces a rebuild.
+    indexed_priorities: Vec<u64>,
 }
 
 impl Default for PriorityScheduler {
@@ -182,12 +252,21 @@ impl PriorityScheduler {
             queues: Vec::new(),
             queued: 0,
             aging_per_sec: 0.25,
+            stamps: Vec::new(),
+            groups: Vec::new(),
+            dirty: Vec::new(),
+            indexed_priorities: Vec::new(),
         }
     }
 
     /// Replaces the aging rate (score points gained per second of waiting).
     pub fn with_aging_per_sec(mut self, aging_per_sec: f64) -> Self {
         self.aging_per_sec = aging_per_sec;
+        // The aging rate decides the in-group arrival key, so any index
+        // built under the old rate is void; force a rebuild at next pick.
+        self.indexed_priorities.clear();
+        self.groups.clear();
+        self.dirty.clear();
         self
     }
 
@@ -211,6 +290,124 @@ impl PriorityScheduler {
         }
         best
     }
+
+    /// The in-group arrival key of a head. With aging the score strictly
+    /// decreases as arrival time grows (distinct microsecond arrivals
+    /// never collapse to one score at simulated magnitudes: consecutive
+    /// waits differ by ≥ 2.5e-7 score points under the 0.25/s default,
+    /// against a sub-1e-12 ulp), so arrival time orders the group. With
+    /// zero aging every head in the group scores exactly `wp`, and the
+    /// rescan's tie-break is purely `(branch, class)` — the key ignores
+    /// arrival time so the heap agrees.
+    fn arrival_key(&self, head: &Request) -> u64 {
+        if self.aging_per_sec == 0.0 {
+            0
+        } else {
+            head.issued_at_us
+        }
+    }
+
+    /// Inserts the current head of `(branch, class)` into its weight
+    /// group, creating the group on first sight of that bit pattern.
+    fn index_head(&mut self, branch: usize, class: usize, model: &ServiceModel) {
+        let Some(head) = self.queues[branch][class].front() else {
+            return;
+        };
+        let wp = head.class.weight() * model.priority(branch);
+        let key = self.arrival_key(head);
+        let entry = Reverse((key, branch, class, self.stamps[branch][class]));
+        match self
+            .groups
+            .iter_mut()
+            .find(|g| g.wp.to_bits() == wp.to_bits())
+        {
+            Some(group) => group.heads.push(entry),
+            None => self.groups.push(WeightGroup {
+                wp,
+                heads: BinaryHeap::from([entry]),
+            }),
+        }
+    }
+
+    /// Brings the head index up to date with the queues and `model`:
+    /// rebuilds from scratch when the model's priorities changed since the
+    /// last pick, otherwise just indexes the queues that went non-empty.
+    fn sync_index(&mut self, model: &ServiceModel) {
+        let priorities: Vec<u64> = (0..self.queues.len())
+            .map(|b| model.priority(b).to_bits())
+            .collect();
+        if priorities != self.indexed_priorities {
+            self.indexed_priorities = priorities;
+            self.groups.clear();
+            self.dirty.clear();
+            for branch in 0..self.queues.len() {
+                for class in 0..CLASS_COUNT {
+                    self.index_head(branch, class, model);
+                }
+            }
+            return;
+        }
+        while let Some((branch, class)) = self.dirty.pop() {
+            self.index_head(branch, class, model);
+        }
+    }
+
+    /// Pops the rescan-identical pick through the head index: per group,
+    /// surface the live minimum (discarding stale stamps), score only
+    /// those group-best heads with the rescan's own expression, and keep
+    /// the strictly-greatest score with ties to the lowest
+    /// `(branch, class)` — the exact rescan rule.
+    fn pop_indexed(&mut self, model: &ServiceModel, now_us: u64) -> Vec<Request> {
+        self.sync_index(model);
+        if self.queued == 0 {
+            return Vec::new();
+        }
+        let mut best: Option<(f64, usize, usize, usize)> = None;
+        for (index, group) in self.groups.iter_mut().enumerate() {
+            let candidate = loop {
+                match group.heads.peek() {
+                    Some(&Reverse((_, branch, class, stamp))) => {
+                        if stamp == self.stamps[branch][class] {
+                            break Some((branch, class));
+                        }
+                        group.heads.pop();
+                    }
+                    None => break None,
+                }
+            };
+            let Some((branch, class)) = candidate else {
+                continue;
+            };
+            let head = self.queues[branch][class]
+                .front()
+                .expect("live index entry for an empty queue");
+            let wait_sec = u64_to_f64(head.latency_us(now_us)) / 1e6;
+            let score = group.wp + self.aging_per_sec * wait_sec;
+            let better = match best {
+                None => true,
+                Some((s, b, c, _)) => score > s || (score == s && (branch, class) < (b, c)),
+            };
+            if better {
+                best = Some((score, branch, class, index));
+            }
+        }
+        let Some((_, branch, class, group)) = best else {
+            debug_assert!(false, "queued requests but no live index entry");
+            return Vec::new();
+        };
+        self.groups[group].heads.pop();
+        self.pop_front(branch, class, model)
+    }
+
+    /// Removes the head of `(branch, class)`, bumps its stamp (killing any
+    /// remaining index entries for the old head) and indexes the new head.
+    fn pop_front(&mut self, branch: usize, class: usize, model: &ServiceModel) -> Vec<Request> {
+        self.queued -= 1;
+        self.stamps[branch][class] += 1;
+        let popped = self.queues[branch][class].pop_front();
+        self.index_head(branch, class, model);
+        popped.into_iter().collect()
+    }
 }
 
 impl Scheduler for PriorityScheduler {
@@ -222,8 +419,14 @@ impl Scheduler for PriorityScheduler {
         if request.branch >= self.queues.len() {
             self.queues
                 .resize_with(request.branch + 1, Default::default);
+            self.stamps.resize(request.branch + 1, [0; CLASS_COUNT]);
         }
-        self.queues[request.branch][request.class.index()].push_back(request);
+        let class = request.class.index();
+        let queue = &mut self.queues[request.branch][class];
+        if queue.is_empty() {
+            self.dirty.push((request.branch, class));
+        }
+        queue.push_back(request);
         self.queued += 1;
     }
 
@@ -237,9 +440,19 @@ impl Scheduler for PriorityScheduler {
         now_us: u64,
         branch_free_us: &[u64],
     ) -> Vec<Request> {
-        // Prefer branches whose pipeline is ready: committing the DMA to a
-        // busy pipeline would block every other branch for no gain. Only
-        // when every candidate is busy pick the one that frees soonest.
+        // The engine's hot path: no readiness hint means every branch is
+        // dispatchable, so the grouped head index answers in O(log
+        // queues). (A negative aging rate would reverse the in-group
+        // order; no caller uses one, but the rescan below handles it, so
+        // route it there rather than mis-index.)
+        if branch_free_us.is_empty() && self.aging_per_sec >= 0.0 {
+            return self.pop_indexed(model, now_us);
+        }
+        // Frozen-rescan fallback. Prefer branches whose pipeline is
+        // ready: committing the DMA to a busy pipeline would block every
+        // other branch for no gain. Only when every candidate is busy
+        // pick the one that frees soonest.
+        self.sync_index(model);
         let mut best_ready: Option<(usize, usize, f64)> = None;
         let mut best_busy: Option<(usize, u64)> = None;
         for branch in 0..self.queues.len() {
@@ -265,10 +478,7 @@ impl Scheduler for PriorityScheduler {
             })
         });
         match pick {
-            Some((branch, class)) => {
-                self.queued -= 1;
-                self.queues[branch][class].pop_front().into_iter().collect()
-            }
+            Some((branch, class)) => self.pop_front(branch, class, model),
             None => Vec::new(),
         }
     }
@@ -278,16 +488,38 @@ impl Scheduler for PriorityScheduler {
 /// (FIFO across branches at batch granularity) and dispatches up to the
 /// DSE-chosen batch size of that branch in one go, paying pipeline fill
 /// once per batch.
+///
+/// The pick key `(head arrival, branch)` is pure integers, so a min-heap
+/// over the branch heads (stamp-invalidated like the priority index)
+/// reproduces the frozen rescan exactly on the engine's no-hint path.
 #[derive(Debug, Default)]
 pub struct BatchScheduler {
     queues: Vec<VecDeque<Request>>,
     queued: usize,
+    /// Per-branch head stamp; bumped per drain so superseded entries die.
+    stamps: Vec<u64>,
+    /// Min-heap of `(head arrival, branch, stamp)` over non-empty queues.
+    heads: BinaryHeap<Reverse<(u64, usize, u64)>>,
 }
 
 impl BatchScheduler {
     /// Creates the discipline with empty per-branch queues.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drains the batch for `branch`, bumps its stamp and re-indexes the
+    /// remaining head, if any.
+    fn drain_branch(&mut self, branch: usize, model: &ServiceModel) -> Vec<Request> {
+        let take = model.max_batch(branch).min(self.queues[branch].len());
+        let batch: Vec<Request> = self.queues[branch].drain(..take).collect();
+        self.queued -= batch.len();
+        self.stamps[branch] += 1;
+        if let Some(head) = self.queues[branch].front() {
+            self.heads
+                .push(Reverse((head.issued_at_us, branch, self.stamps[branch])));
+        }
+        batch
     }
 }
 
@@ -299,8 +531,14 @@ impl Scheduler for BatchScheduler {
     fn enqueue(&mut self, request: Request, _now_us: u64) {
         if request.branch >= self.queues.len() {
             self.queues.resize_with(request.branch + 1, VecDeque::new);
+            self.stamps.resize(request.branch + 1, 0);
         }
-        self.queues[request.branch].push_back(request);
+        let branch = request.branch;
+        if self.queues[branch].is_empty() {
+            self.heads
+                .push(Reverse((request.issued_at_us, branch, self.stamps[branch])));
+        }
+        self.queues[branch].push_back(request);
         self.queued += 1;
     }
 
@@ -314,9 +552,22 @@ impl Scheduler for BatchScheduler {
         now_us: u64,
         branch_free_us: &[u64],
     ) -> Vec<Request> {
-        // Oldest head first among ready pipelines (FIFO across branches at
-        // batch granularity); fall back to the soonest-free branch when
-        // every pipeline is busy.
+        // The engine's hot path: every branch ready, so the head heap's
+        // live minimum is exactly the rescan's `(head arrival, branch)`
+        // minimum.
+        if branch_free_us.is_empty() {
+            while let Some(&Reverse((_, branch, stamp))) = self.heads.peek() {
+                if stamp == self.stamps[branch] {
+                    self.heads.pop();
+                    return self.drain_branch(branch, model);
+                }
+                self.heads.pop();
+            }
+            return Vec::new();
+        }
+        // Frozen-rescan fallback: oldest head first among ready pipelines
+        // (FIFO across branches at batch granularity); fall back to the
+        // soonest-free branch when every pipeline is busy.
         let candidate = |ready: bool| {
             self.queues
                 .iter()
@@ -329,12 +580,7 @@ impl Scheduler for BatchScheduler {
         };
         let oldest = candidate(true).or_else(|| candidate(false));
         match oldest {
-            Some((_, branch)) => {
-                let take = model.max_batch(branch).min(self.queues[branch].len());
-                let batch: Vec<Request> = self.queues[branch].drain(..take).collect();
-                self.queued -= batch.len();
-                batch
-            }
+            Some((_, branch)) => self.drain_branch(branch, model),
             None => Vec::new(),
         }
     }
@@ -480,5 +726,129 @@ mod tests {
             .map(|k| k.build().name())
             .collect();
         assert_eq!(names, vec!["fifo", "priority", "batch"]);
+    }
+
+    // --- Indexed fast path (empty readiness hint) ---
+
+    /// Drives a rebuilt scheduler and its frozen counterpart through the
+    /// same monotone enqueue/pop stream and demands identical pops.
+    fn assert_pops_match_reference(
+        requests: &[Request],
+        mut rebuilt: impl Scheduler,
+        mut frozen: impl Scheduler,
+        hint: &[u64],
+    ) {
+        let model = test_model();
+        let mut now = 0;
+        for (step, request) in requests.iter().enumerate() {
+            now = now.max(request.issued_at_us);
+            rebuilt.enqueue(*request, now);
+            frozen.enqueue(*request, now);
+            // Interleave pops so head churn (not just bulk drain) is
+            // exercised.
+            if step % 2 == 1 {
+                let a = rebuilt.next_batch(&model, now, hint);
+                let b = frozen.next_batch(&model, now, hint);
+                assert_eq!(a, b, "pop diverged mid-stream at step {step}");
+            }
+        }
+        while frozen.queued() > 0 {
+            now += 1_000;
+            let a = rebuilt.next_batch(&model, now, hint);
+            let b = frozen.next_batch(&model, now, hint);
+            assert_eq!(a, b, "drain diverged at t={now}");
+        }
+        assert_eq!(rebuilt.queued(), 0);
+        assert!(rebuilt.next_batch(&model, now, hint).is_empty());
+    }
+
+    fn churn_stream() -> Vec<Request> {
+        let classes = QosClass::all();
+        (0..60u64)
+            .map(|i| Request {
+                id: i,
+                session: u64_to_usize_for_test(i % 7),
+                branch: u64_to_usize_for_test(i % 3),
+                issued_at_us: i * 3_337,
+                class: classes[u64_to_usize_for_test(i % 3)],
+            })
+            .collect()
+    }
+
+    fn u64_to_usize_for_test(value: u64) -> usize {
+        usize::try_from(value).expect("test value fits usize")
+    }
+
+    #[test]
+    fn priority_index_matches_the_frozen_rescan() {
+        assert_pops_match_reference(
+            &churn_stream(),
+            PriorityScheduler::new(),
+            crate::reference::PriorityScheduler::new(),
+            &[],
+        );
+    }
+
+    #[test]
+    fn priority_index_matches_under_zero_aging() {
+        assert_pops_match_reference(
+            &churn_stream(),
+            PriorityScheduler::new().with_aging_per_sec(0.0),
+            crate::reference::PriorityScheduler::new().with_aging_per_sec(0.0),
+            &[],
+        );
+    }
+
+    #[test]
+    fn batch_index_matches_the_frozen_rescan() {
+        assert_pops_match_reference(
+            &churn_stream(),
+            BatchScheduler::new(),
+            crate::reference::BatchScheduler::new(),
+            &[],
+        );
+    }
+
+    #[test]
+    fn mixed_hint_and_indexed_calls_stay_consistent() {
+        // Alternating hinted (rescan fallback) and unhinted (indexed)
+        // picks must agree with an all-rescan frozen scheduler: the
+        // fallback's stamp fixup keeps the index truthful.
+        let model = test_model();
+        let mut rebuilt = PriorityScheduler::new();
+        let mut frozen = crate::reference::PriorityScheduler::new();
+        for request in churn_stream() {
+            let now = request.issued_at_us;
+            rebuilt.enqueue(request, now);
+            frozen.enqueue(request, now);
+        }
+        let mut now = 200_000;
+        let mut flip = false;
+        while frozen.queued() > 0 {
+            let hint: &[u64] = if flip { &[0; 3] } else { &[] };
+            let a = rebuilt.next_batch(&model, now, hint);
+            let b = frozen.next_batch(&model, now, &[0; 3]);
+            assert_eq!(a, b, "hint-mixed pop diverged at t={now}");
+            flip = !flip;
+            now += 500;
+        }
+        assert_eq!(rebuilt.queued(), 0);
+    }
+
+    #[test]
+    fn priority_index_survives_a_priority_override_swap() {
+        // Changing the model's priorities between picks must trigger the
+        // index rebuild, not serve picks ordered by the stale weights.
+        let mut base = test_model();
+        let mut sched = PriorityScheduler::new().with_aging_per_sec(0.0);
+        sched.enqueue(request(0, 2, 0), 0);
+        sched.enqueue(request(1, 0, 0), 0);
+        assert_eq!(sched.next_batch(&base, 10, &[])[0].branch, 0);
+        sched.enqueue(request(2, 0, 20), 20);
+        // Flip the weights: audio now dominates geometry.
+        base.branches[2].priority = 5.0;
+        assert_eq!(sched.next_batch(&base, 30, &[])[0].branch, 2);
+        assert_eq!(sched.next_batch(&base, 40, &[])[0].branch, 0);
+        assert_eq!(sched.queued(), 0);
     }
 }

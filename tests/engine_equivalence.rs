@@ -1,0 +1,260 @@
+//! The engine-rebuild differential battery: the calendar-driven engine
+//! (`fcad_serve::simulate_*`) and the parallel shard engine
+//! (`fcad_serve::simulate_fleet_parallel` and friends) must reproduce the
+//! frozen pre-rebuild loop (`fcad_serve::reference`) **byte for byte** —
+//! same `ServeReport` JSON line, same recorded trace stream — for every
+//! scheduler × balancer × scenario combination, across shard counts,
+//! with QoS admission, autoscaling and failure injection in the mix.
+//!
+//! This battery is the contract that makes the indexed-calendar /
+//! heap-scheduler / parallel-shard rebuild a pure performance change:
+//! any behavioural drift shows up as a byte diff here.
+
+mod common;
+
+use common::three_branch_model;
+use fcad_serve::{
+    reference, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_parallel,
+    simulate_fleet_qos, simulate_fleet_qos_parallel, simulate_fleet_traced_parallel,
+    simulate_traced, AdmissionKind, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind,
+    Recorder, Scenario, SchedulerKind,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const ADMISSIONS: [AdmissionKind; 3] = [
+    AdmissionKind::AdmitAll,
+    AdmissionKind::QueueThreshold,
+    AdmissionKind::BudgetAware,
+];
+
+fn fleet(shards: usize, balancer: LoadBalancerKind) -> FleetConfig {
+    let mut config = FleetConfig::uniform(three_branch_model(), shards);
+    config.balancer = balancer;
+    config
+}
+
+/// Every suite scenario (plus the QoS burst) scaled to `shards`.
+fn scenarios(shards: usize) -> Vec<Scenario> {
+    let mut scenarios = Scenario::fleet_suite(shards);
+    scenarios.push(Scenario::b2_qos().with_sessions(8 * shards));
+    scenarios
+}
+
+#[test]
+fn rebuilt_engine_matches_the_reference_everywhere() {
+    for &shards in &SHARD_COUNTS {
+        for scenario in scenarios(shards) {
+            for &kind in SchedulerKind::all() {
+                for &balancer in LoadBalancerKind::all() {
+                    let config = fleet(shards, balancer);
+                    let frozen = reference::simulate_fleet(&config, &scenario, kind);
+                    let rebuilt = simulate_fleet(&config, &scenario, kind);
+                    assert_eq!(
+                        frozen.to_json_line(),
+                        rebuilt.to_json_line(),
+                        "rebuilt engine diverged: {} × {kind:?} × {balancer:?} × {shards} shards",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_the_reference_at_every_worker_count() {
+    for &shards in &SHARD_COUNTS {
+        for scenario in scenarios(shards) {
+            for &kind in SchedulerKind::all() {
+                for &balancer in LoadBalancerKind::all() {
+                    let config = fleet(shards, balancer);
+                    let frozen = reference::simulate_fleet(&config, &scenario, kind);
+                    for &workers in &WORKER_COUNTS {
+                        let parallel = simulate_fleet_parallel(&config, &scenario, kind, workers);
+                        assert_eq!(
+                            frozen.to_json_line(),
+                            parallel.to_json_line(),
+                            "parallel engine diverged: {} × {kind:?} × {balancer:?} × \
+                             {shards} shards × {workers} workers",
+                            scenario.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qos_admission_grid_is_bit_identical_across_engines() {
+    let scenario = Scenario::b2_qos().with_sessions(24);
+    for &balancer in LoadBalancerKind::all() {
+        let config = fleet(3, balancer);
+        for &kind in SchedulerKind::all() {
+            for admission in ADMISSIONS {
+                let frozen = reference::simulate_fleet_qos(&config, &scenario, kind, admission);
+                let rebuilt = simulate_fleet_qos(&config, &scenario, kind, admission);
+                assert_eq!(
+                    frozen.to_json_line(),
+                    rebuilt.to_json_line(),
+                    "QoS rebuild diverged: {kind:?} × {balancer:?} × {admission:?}"
+                );
+                let parallel = simulate_fleet_qos_parallel(&config, &scenario, kind, admission, 4);
+                assert_eq!(
+                    frozen.to_json_line(),
+                    parallel.to_json_line(),
+                    "QoS parallel diverged: {kind:?} × {balancer:?} × {admission:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn autoscaled_runs_are_bit_identical_to_the_reference() {
+    let scenario = Scenario::diurnal_fleet(2);
+    let policy = Autoscaler::reactive(1, 5);
+    for &kind in SchedulerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
+            let config = fleet(2, balancer);
+            for admission in ADMISSIONS {
+                let frozen = reference::simulate_autoscaled_qos(
+                    &config,
+                    &scenario,
+                    kind,
+                    &policy,
+                    &FailurePlan::none(),
+                    admission,
+                );
+                let rebuilt = simulate_autoscaled_qos(
+                    &config,
+                    &scenario,
+                    kind,
+                    &policy,
+                    &FailurePlan::none(),
+                    admission,
+                );
+                assert_eq!(
+                    frozen.to_json_line(),
+                    rebuilt.to_json_line(),
+                    "autoscaled rebuild diverged: {kind:?} × {balancer:?} × {admission:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_injection_runs_are_bit_identical_to_the_reference() {
+    let scenario = Scenario::b2_failover(3);
+    let scheduled = FailurePlan::scheduled(&[(600_000, 0), (1_400_000, 2)]);
+    let seeded = FailurePlan::seeded(0xF00D, 2, 2_500_000);
+    for failures in [&scheduled, &seeded] {
+        for &kind in SchedulerKind::all() {
+            for &balancer in LoadBalancerKind::all() {
+                let config = fleet(3, balancer);
+                let frozen = reference::simulate_autoscaled_qos(
+                    &config,
+                    &scenario,
+                    kind,
+                    &Autoscaler::reactive(2, 4),
+                    failures,
+                    AdmissionKind::AdmitAll,
+                );
+                let rebuilt = simulate_autoscaled_qos(
+                    &config,
+                    &scenario,
+                    kind,
+                    &Autoscaler::reactive(2, 4),
+                    failures,
+                    AdmissionKind::AdmitAll,
+                );
+                assert_eq!(
+                    frozen.to_json_line(),
+                    rebuilt.to_json_line(),
+                    "failure-injection rebuild diverged: {kind:?} × {balancer:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_streams_are_identical_event_for_event() {
+    // The full dynamic stack: autoscaler + failures + admission, traced.
+    let scenario = Scenario::b2_failover(2);
+    let policy = Autoscaler::reactive(1, 4);
+    let failures = FailurePlan::scheduled(&[(900_000, 1)]);
+    for &kind in SchedulerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
+            let config = fleet(2, balancer);
+            let mut frozen_rec = Recorder::new();
+            let frozen = reference::simulate_traced(
+                &config,
+                &scenario,
+                kind,
+                &policy,
+                &failures,
+                AdmissionKind::QueueThreshold,
+                &mut frozen_rec,
+            );
+            let mut rebuilt_rec = Recorder::new();
+            let rebuilt = simulate_traced(
+                &config,
+                &scenario,
+                kind,
+                &policy,
+                &failures,
+                AdmissionKind::QueueThreshold,
+                &mut rebuilt_rec,
+            );
+            assert_eq!(frozen.to_json_line(), rebuilt.to_json_line());
+            assert_eq!(
+                frozen_rec.events(),
+                rebuilt_rec.events(),
+                "trace stream diverged: {kind:?} × {balancer:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_trace_streams_match_the_sequential_recording() {
+    // Static fleets only — the parallel engine's decomposable regime —
+    // but across every balancer (load-aware kinds exercise the fallback).
+    let scenario = Scenario::b2_qos().with_sessions(16);
+    for &kind in SchedulerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
+            let config = fleet(4, balancer);
+            let mut frozen_rec = Recorder::new();
+            let frozen = reference::simulate_traced(
+                &config,
+                &scenario,
+                kind,
+                &Autoscaler::none(),
+                &FailurePlan::none(),
+                AdmissionKind::BudgetAware,
+                &mut frozen_rec,
+            );
+            for &workers in &WORKER_COUNTS {
+                let mut parallel_rec = Recorder::new();
+                let parallel = simulate_fleet_traced_parallel(
+                    &config,
+                    &scenario,
+                    kind,
+                    AdmissionKind::BudgetAware,
+                    &mut parallel_rec,
+                    workers,
+                );
+                assert_eq!(frozen.to_json_line(), parallel.to_json_line());
+                assert_eq!(
+                    frozen_rec.events(),
+                    parallel_rec.events(),
+                    "parallel trace diverged: {kind:?} × {balancer:?} × {workers} workers"
+                );
+            }
+        }
+    }
+}

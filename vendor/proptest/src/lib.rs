@@ -123,6 +123,34 @@ pub mod strategy {
     impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
 }
 
+pub mod collection {
+    //! Stand-in for `proptest::collection`: just [`vec`].
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy produced by [`vec`]: a vector with a length drawn from the
+    /// range and elements drawn from the element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Stand-in for `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let count = rng.gen_range(self.len.clone());
+            (0..count).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 pub mod test_runner {
     /// Stand-in for `proptest::test_runner::Config`.
     #[derive(Debug, Clone)]
