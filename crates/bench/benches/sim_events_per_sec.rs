@@ -10,8 +10,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fcad_serve::{
-    reference, simulate_fleet, simulate_fleet_parallel, BranchService, FleetConfig, Scenario,
-    SchedulerKind, ServeReport, ServiceModel,
+    reference, simulate_fleet, simulate_fleet_deadline, simulate_fleet_parallel, AdmissionKind,
+    BranchService, DeadlinePolicy, FleetConfig, Scenario, SchedulerKind, ServeReport, ServiceModel,
 };
 
 const SHARDS: usize = 64;
@@ -93,6 +93,56 @@ fn bench(c: &mut Criterion) {
             b.iter(|| simulate_fleet_parallel(&config, &scenario, kind, PARALLEL_WORKERS))
         });
     }
+
+    // The deadline cell: EDF dispatch on the mixed-class burst fleet.
+    // Culling off is byte-identical to the frozen reference rescan; the
+    // culling run has no reference twin (the frozen engine predates the
+    // policy), so it prints throughput against the same baseline only.
+    let qos = Scenario::b2_qos();
+    let edf = SchedulerKind::Deadline;
+    let config = FleetConfig::uniform(model.clone(), SHARDS);
+    let (ref_sec, ref_report) = timed(|| reference::simulate_fleet(&config, &qos, edf));
+    let (off_sec, off_report) = timed(|| {
+        simulate_fleet_deadline(
+            &config,
+            &qos,
+            edf,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::Off,
+        )
+    });
+    let (cull_sec, cull_report) = timed(|| {
+        simulate_fleet_deadline(
+            &config,
+            &qos,
+            edf,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::CullExpired,
+        )
+    });
+    assert_eq!(ref_report.to_json_line(), off_report.to_json_line());
+    assert!(cull_report.conserves_requests());
+    let events = sim_events(&ref_report);
+    print_comparison("b2_qos_deadline", events, ref_sec, "reference", ref_sec);
+    print_comparison("b2_qos_deadline", events, ref_sec, "deadline_off", off_sec);
+    print_comparison(
+        "b2_qos_deadline",
+        sim_events(&cull_report),
+        ref_sec,
+        "deadline_cull",
+        cull_sec,
+    );
+    c.bench_function("sim_events/b2_qos_deadline/deadline_cull", |b| {
+        b.iter(|| {
+            simulate_fleet_deadline(
+                &config,
+                &qos,
+                edf,
+                AdmissionKind::AdmitAll,
+                DeadlinePolicy::CullExpired,
+            )
+        })
+    });
 
     // Metropolis, downscaled so the reference loop stays affordable in one
     // bench run; the full 1.05 M-session workload lives in the release

@@ -10,9 +10,10 @@
 use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
 use fcad_serve::{
-    simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
-    simulate_qos, simulate_traced, AdmissionKind, Autoscaler, FailurePlan, FleetConfig,
-    LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel, TraceSink,
+    simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_deadline, simulate_fleet,
+    simulate_fleet_qos, simulate_qos, simulate_traced, AdmissionKind, Autoscaler, DeadlinePolicy,
+    FailurePlan, FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel,
+    TraceSink,
 };
 
 impl FcadResult {
@@ -60,6 +61,23 @@ impl FcadResult {
         admission: AdmissionKind,
     ) -> ServeReport {
         simulate_qos(&self.service_model(), scenario, kind, admission)
+    }
+
+    /// [`FcadResult::serve_qos`] under an explicit deadline policy. With
+    /// [`DeadlinePolicy::CullExpired`] the dispatcher retires queued
+    /// requests whose class budget has already elapsed — the `expired`
+    /// outcome in the report — instead of spending fabric time completing
+    /// dead frames; pair it with [`SchedulerKind::Deadline`] for
+    /// earliest-deadline-first dispatch. [`DeadlinePolicy::Off`]
+    /// reproduces [`FcadResult::serve_qos`] bit for bit.
+    pub fn serve_deadline(
+        &self,
+        scenario: &Scenario,
+        kind: SchedulerKind,
+        admission: AdmissionKind,
+        deadline: DeadlinePolicy,
+    ) -> ServeReport {
+        simulate_deadline(&self.service_model(), scenario, kind, admission, deadline)
     }
 
     /// [`FcadResult::serve_qos`] with every request lifecycle narrated
@@ -396,6 +414,33 @@ mod tests {
             AdmissionKind::BudgetAware,
         );
         assert_eq!(report, autoscaled, "no-op policy must not disturb QoS");
+    }
+
+    #[test]
+    fn deadline_entry_point_reduces_to_qos_when_off() {
+        let result = optimized();
+        let scenario = Scenario::b2_qos();
+        let qos = result.serve_qos(&scenario, SchedulerKind::Deadline, AdmissionKind::AdmitAll);
+        let off = result.serve_deadline(
+            &scenario,
+            SchedulerKind::Deadline,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::Off,
+        );
+        assert_eq!(qos, off, "culling off must be the QoS path bit for bit");
+        let culled = result.serve_deadline(
+            &scenario,
+            SchedulerKind::Deadline,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::CullExpired,
+        );
+        assert!(culled.conserves_requests());
+        assert_eq!(culled.scheduler, "deadline");
+        assert_eq!(
+            culled.expired,
+            culled.classes.iter().map(|c| c.expired).sum::<u64>(),
+            "expiry must be attributed to classes"
+        );
     }
 
     #[test]

@@ -167,7 +167,10 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                         ));
                     }
                 }
-                RequestEventKind::Drop | RequestEventKind::Shed | RequestEventKind::Lost { .. } => {
+                RequestEventKind::Drop
+                | RequestEventKind::Shed
+                | RequestEventKind::Lost { .. }
+                | RequestEventKind::Expired => {
                     rows.push(instant(
                         e.kind.name(),
                         "request",
@@ -306,11 +309,12 @@ mod tests {
     }
 
     #[test]
-    fn terminal_instants_cover_drop_shed_lost() {
+    fn terminal_instants_cover_drop_shed_lost_expired() {
         let events = vec![
             req(10, 1, Some(0), RequestEventKind::Drop),
             req(20, 2, Some(0), RequestEventKind::Shed),
             req(30, 3, None, RequestEventKind::Lost { orphaned: false }),
+            req(40, 4, Some(0), RequestEventKind::Expired),
         ];
         let doc = chrome_trace(&events);
         validate_json(&doc).expect("trace is valid JSON");
@@ -318,6 +322,7 @@ mod tests {
             "\"name\":\"drop\"",
             "\"name\":\"shed\"",
             "\"name\":\"lost\"",
+            "\"name\":\"expired\"",
         ] {
             assert!(doc.contains(name), "missing {name}");
         }

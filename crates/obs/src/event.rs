@@ -31,6 +31,10 @@ pub enum RequestEventKind {
         /// queue; `false` when no live shard existed at arrival.
         orphaned: bool,
     },
+    /// The request expired in queue — its class deadline passed before the
+    /// fabric could serve it — and was retired unserved by the engine's
+    /// deadline policy.
+    Expired,
     /// The request's batch began service on the fabric.
     ServiceStart,
     /// The request completed service.
@@ -51,13 +55,14 @@ impl RequestEventKind {
             RequestEventKind::Drop => "drop",
             RequestEventKind::Replace { .. } => "replace",
             RequestEventKind::Lost { .. } => "lost",
+            RequestEventKind::Expired => "expired",
             RequestEventKind::ServiceStart => "service_start",
             RequestEventKind::Complete { .. } => "complete",
         }
     }
 
     /// Whether this kind ends a request's lifecycle (exactly one terminal
-    /// event per issued request: complete, drop, lost, or shed).
+    /// event per issued request: complete, drop, lost, shed, or expired).
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
@@ -65,6 +70,7 @@ impl RequestEventKind {
                 | RequestEventKind::Drop
                 | RequestEventKind::Lost { .. }
                 | RequestEventKind::Shed
+                | RequestEventKind::Expired
         )
     }
 }
@@ -175,11 +181,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn terminal_kinds_are_exactly_the_four_report_counters() {
+    fn terminal_kinds_are_exactly_the_five_report_counters() {
         assert!(RequestEventKind::Complete { latency_us: 1 }.is_terminal());
         assert!(RequestEventKind::Drop.is_terminal());
         assert!(RequestEventKind::Lost { orphaned: true }.is_terminal());
         assert!(RequestEventKind::Shed.is_terminal());
+        assert!(RequestEventKind::Expired.is_terminal());
         for kind in [
             RequestEventKind::Arrival,
             RequestEventKind::Admit,

@@ -34,8 +34,8 @@ pub struct RequestTimeline {
     pub completed_at_us: Option<u64>,
     /// Completion latency, if completed.
     pub latency_us: Option<u64>,
-    /// Terminal outcome: `completed`, `dropped`, `shed`, `lost`, or
-    /// `in_flight` if the stream ended mid-request.
+    /// Terminal outcome: `completed`, `dropped`, `shed`, `lost`,
+    /// `expired`, or `in_flight` if the stream ended mid-request.
     pub outcome: &'static str,
     /// Times the request was re-placed off a failed shard.
     pub replaced: u64,
@@ -93,6 +93,7 @@ impl FlightRecorder {
                 RequestEventKind::Drop => entry.outcome = "dropped",
                 RequestEventKind::Shed => entry.outcome = "shed",
                 RequestEventKind::Lost { .. } => entry.outcome = "lost",
+                RequestEventKind::Expired => entry.outcome = "expired",
                 RequestEventKind::Admit => {}
             }
         }

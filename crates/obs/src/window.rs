@@ -22,6 +22,7 @@ struct WindowAccum {
     replaced: u64,
     dispatched: u64,
     completed: u64,
+    expired: u64,
     fleet_events: u64,
     busy_us: u64,
     latencies_us: Vec<u64>,
@@ -71,6 +72,9 @@ pub struct MetricsWindow {
     pub p50_ms: f64,
     /// p99 completion latency of the window, milliseconds (0 if none).
     pub p99_ms: f64,
+    /// Requests retired in-queue by the deadline policy (their class
+    /// budget ran out before the fabric could serve them).
+    pub expired: u64,
 }
 
 /// The finished series.
@@ -108,6 +112,7 @@ impl MetricsSeries {
                     .raw("class_queued_end", &array(&classes))
                     .f64("p50_ms", w.p50_ms)
                     .f64("p99_ms", w.p99_ms)
+                    .u64("expired", w.expired)
                     .render(),
             );
             out.push('\n');
@@ -248,6 +253,7 @@ impl Windowed {
                     class_queued_end: acc.class_queued_end.clone(),
                     p50_ms: percentile_ms(&lat, 50),
                     p99_ms: percentile_ms(&lat, 99),
+                    expired: acc.expired,
                 }
             })
             .collect();
@@ -311,6 +317,11 @@ impl TraceSink for Windowed {
                             self.dec_queued(e.class);
                         }
                         self.ensure(idx).lost += 1;
+                    }
+                    RequestEventKind::Expired => {
+                        // Retired straight out of a shard queue.
+                        self.dec_queued(e.class);
+                        self.ensure(idx).expired += 1;
                     }
                     RequestEventKind::ServiceStart => {
                         self.dec_queued(e.class);
@@ -428,6 +439,19 @@ mod tests {
         assert_eq!(w0.fleet_events, 1);
         assert_eq!(w0.lost, 2);
         assert_eq!(w0.queue_depth_end, 0, "orphan loss drains the queue");
+    }
+
+    #[test]
+    fn expiries_drain_the_queue_and_are_counted() {
+        let mut w = Windowed::new(1_000);
+        w.record(req(10, 0, Some(0), RequestEventKind::Enqueue));
+        w.record(req(900, 0, Some(0), RequestEventKind::Expired));
+        let series = w.finish();
+        assert_eq!(series.windows.len(), 1);
+        let w0 = &series.windows[0];
+        assert_eq!(w0.expired, 1);
+        assert_eq!(w0.queue_depth_end, 0, "expiry drains the queue");
+        assert!(series.to_json_lines().contains("\"expired\":1"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use crate::autoscale::{
 };
 use crate::calendar::{Calendar, LANE_ARRIVAL, LANE_DISPATCH, LANE_LIFECYCLE};
 use crate::cast::{f64_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
+use crate::deadline::DeadlinePolicy;
 use crate::fleet::{Balancer, FleetConfig, LoadBalancerKind, ShardLoad};
 use crate::histogram::LatencyHistogram;
 use crate::model::ServiceModel;
@@ -130,6 +131,42 @@ pub fn simulate_fleet_qos(
     kind: SchedulerKind,
     admission: AdmissionKind,
 ) -> ServeReport {
+    simulate_fleet_deadline(config, scenario, kind, admission, DeadlinePolicy::Off)
+}
+
+/// [`simulate_qos`] under a deadline policy — the single-device
+/// deadline-aware entry point. [`DeadlinePolicy::Off`] reproduces
+/// [`simulate_qos`] bit for bit; [`DeadlinePolicy::CullExpired`] retires
+/// requests whose latency budget ran out while they queued as the fifth
+/// terminal outcome `expired` instead of spending fabric time on them.
+pub fn simulate_deadline(
+    model: &ServiceModel,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+) -> ServeReport {
+    simulate_fleet_deadline(
+        &FleetConfig::uniform(model.clone(), 1),
+        scenario,
+        kind,
+        admission,
+        deadline,
+    )
+}
+
+/// [`simulate_fleet_qos`] under a deadline policy: at every dispatch
+/// instant, [`DeadlinePolicy::CullExpired`] pops and retires the queued
+/// requests whose deadline (`issued_at + class budget`) has already
+/// passed — counted `expired`, never served, costing no fabric time.
+/// [`DeadlinePolicy::Off`] reproduces [`simulate_fleet_qos`] bit for bit.
+pub fn simulate_fleet_deadline(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+) -> ServeReport {
     let schedulers: Vec<Box<dyn Scheduler>> =
         (0..config.shard_count()).map(|_| kind.build()).collect();
     let mut controller = admission.build();
@@ -141,6 +178,7 @@ pub fn simulate_fleet_qos(
         &Autoscaler::none(),
         &FailurePlan::none(),
         controller.as_mut(),
+        deadline,
         &mut Off,
     )
 }
@@ -166,6 +204,7 @@ pub fn simulate_fleet_with<'a>(
         &Autoscaler::none(),
         &FailurePlan::none(),
         controller.as_mut(),
+        DeadlinePolicy::Off,
         &mut Off,
     )
 }
@@ -210,6 +249,31 @@ pub fn simulate_autoscaled_qos(
     failures: &FailurePlan,
     admission: AdmissionKind,
 ) -> ServeReport {
+    simulate_autoscaled_deadline(
+        config,
+        scenario,
+        kind,
+        policy,
+        failures,
+        admission,
+        DeadlinePolicy::Off,
+    )
+}
+
+/// [`simulate_autoscaled_qos`] under a deadline policy — the full stack
+/// with queue-time expiry culling on top: QoS classes, admission
+/// shedding, autoscaling, failure injection and deadline-aware dispatch
+/// in one run. [`DeadlinePolicy::Off`] reproduces
+/// [`simulate_autoscaled_qos`] bit for bit.
+pub fn simulate_autoscaled_deadline(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+) -> ServeReport {
     let schedulers: Vec<Box<dyn Scheduler>> =
         (0..config.shard_count()).map(|_| kind.build()).collect();
     let mut controller = admission.build();
@@ -221,6 +285,7 @@ pub fn simulate_autoscaled_qos(
         policy,
         failures,
         controller.as_mut(),
+        deadline,
         &mut Off,
     )
 }
@@ -255,7 +320,8 @@ pub fn simulate_traced(
         policy,
         failures,
         controller.as_mut(),
-        sink,
+        DeadlinePolicy::Off,
+        &mut *sink,
     )
 }
 
@@ -346,6 +412,7 @@ pub(crate) struct Shard<'a> {
     pub(crate) completed: u64,
     pub(crate) dropped: u64,
     pub(crate) shed: u64,
+    pub(crate) expired: u64,
     pub(crate) histogram: LatencyHistogram,
     /// Whether an idle check for this shard is already queued — one
     /// pending check per shard keeps the lifecycle event list from
@@ -381,6 +448,7 @@ impl<'a> Shard<'a> {
             completed: 0,
             dropped: 0,
             shed: 0,
+            expired: 0,
             histogram: LatencyHistogram::new(),
             idle_check_pending: false,
         }
@@ -448,7 +516,7 @@ fn alive_count(shards: &[Shard]) -> usize {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run<'a>(
+pub(crate) fn run<'a>(
     config: &FleetConfig,
     scenario: &Scenario,
     schedulers: Vec<Box<dyn Scheduler + 'a>>,
@@ -456,6 +524,7 @@ fn run<'a>(
     policy: &Autoscaler,
     failures: &FailurePlan,
     admission: &mut dyn AdmissionController,
+    deadline: DeadlinePolicy,
     sink: &mut dyn TraceSink,
 ) -> ServeReport {
     config.assert_valid();
@@ -792,16 +861,87 @@ fn run<'a>(
                     }
                 }
                 CalEvent::Dispatch { shard } => {
-                    let (batch, service_us, done_us) = {
+                    // Under `DeadlinePolicy::CullExpired`, requests whose
+                    // deadline already passed while they queued are
+                    // retired here instead of served — completing them
+                    // would spend fabric time on frames nobody can use.
+                    // Culling costs no fabric time (`free_at_us` is
+                    // untouched), so a fully-dead batch is followed by
+                    // another pop at the same instant.
+                    let batch = loop {
                         let s = &mut shards[shard];
-                        let batch = s.scheduler.next_batch(&s.model, now_us, &[]);
-                        debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+                        let popped = s.scheduler.next_batch(&s.model, now_us, &[]);
+                        debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
+                        queued_total -= popped.len();
+                        let live = if deadline.culls() {
+                            let mut live = Vec::with_capacity(popped.len());
+                            for request in popped {
+                                if now_us > request.deadline_us() {
+                                    let single_us = s.single_cost_us[request.branch];
+                                    let class = request.class.index();
+                                    s.backlog_us = s.backlog_us.saturating_sub(single_us);
+                                    s.class_backlog_us[class] =
+                                        s.class_backlog_us[class].saturating_sub(single_us);
+                                    s.expired += 1;
+                                    tally.expired[request.branch] += 1;
+                                    tally.class_expired[class] += 1;
+                                    if tracing {
+                                        sink.record(request.trace(
+                                            now_us,
+                                            Some(shard),
+                                            RequestEventKind::Expired,
+                                        ));
+                                    }
+                                } else {
+                                    live.push(request);
+                                }
+                            }
+                            live
+                        } else {
+                            popped
+                        };
+                        if !live.is_empty() || s.scheduler.queued() == 0 {
+                            break live;
+                        }
+                    };
+                    if batch.is_empty() {
+                        // Expiry drained the whole queue without touching
+                        // the fabric: no completion moves `free_at_us`,
+                        // but the now-idle shard still owes its drain /
+                        // idle-retirement housekeeping.
+                        shards[shard].pending_since_us = 0;
+                        refresh_dispatch(&mut calendar, &mut shards, shard);
+                        if shards[shard].phase == ShardState::Draining {
+                            retire(
+                                &mut shards,
+                                &mut tally.scale_events,
+                                now_us,
+                                shard,
+                                sink,
+                                tracing,
+                            );
+                        } else if shards[shard].phase == ShardState::Active
+                            && policy.idle_retire_us > 0
+                            && !shards[shard].idle_check_pending
+                        {
+                            shards[shard].idle_check_pending = true;
+                            push_life(
+                                &mut calendar,
+                                &mut life_seq,
+                                now_us + policy.idle_retire_us,
+                                shard,
+                                Action::IdleCheck,
+                            );
+                        }
+                        continue;
+                    }
+                    let (service_us, done_us) = {
+                        let s = &shards[shard];
                         let branch = batch[0].branch;
                         debug_assert!(batch.iter().all(|r| r.branch == branch));
                         let service_us = s.model.batch_service_us(branch, batch.len());
-                        (batch, service_us, now_us + service_us)
+                        (service_us, now_us + service_us)
                     };
-                    queued_total -= batch.len();
                     shards[shard].busy_us += service_us;
                     if tracing {
                         sink.record(TraceEvent::Batch(BatchEvent {
@@ -1021,6 +1161,7 @@ fn run<'a>(
             completed: s.completed,
             dropped: s.dropped,
             shed: s.shed,
+            expired: s.expired,
             histogram: s.histogram,
         })
         .collect();
@@ -1046,12 +1187,14 @@ pub(crate) struct Tally {
     pub(crate) dropped: Vec<u64>,
     pub(crate) lost: Vec<u64>,
     pub(crate) shed: Vec<u64>,
+    pub(crate) expired: Vec<u64>,
     pub(crate) branch_histograms: Vec<LatencyHistogram>,
     pub(crate) class_issued: [u64; CLASS_COUNT],
     pub(crate) class_completed: [u64; CLASS_COUNT],
     pub(crate) class_dropped: [u64; CLASS_COUNT],
     pub(crate) class_lost: [u64; CLASS_COUNT],
     pub(crate) class_shed: [u64; CLASS_COUNT],
+    pub(crate) class_expired: [u64; CLASS_COUNT],
     pub(crate) within_budget: [u64; CLASS_COUNT],
     pub(crate) class_histograms: [LatencyHistogram; CLASS_COUNT],
     pub(crate) pre_failure: LatencyHistogram,
@@ -1068,12 +1211,14 @@ impl Tally {
             dropped: vec![0; branch_count],
             lost: vec![0; branch_count],
             shed: vec![0; branch_count],
+            expired: vec![0; branch_count],
             branch_histograms: (0..branch_count).map(|_| LatencyHistogram::new()).collect(),
             class_issued: [0; CLASS_COUNT],
             class_completed: [0; CLASS_COUNT],
             class_dropped: [0; CLASS_COUNT],
             class_lost: [0; CLASS_COUNT],
             class_shed: [0; CLASS_COUNT],
+            class_expired: [0; CLASS_COUNT],
             within_budget: [0; CLASS_COUNT],
             class_histograms: std::array::from_fn(|_| LatencyHistogram::new()),
             pre_failure: LatencyHistogram::new(),
@@ -1112,6 +1257,9 @@ impl Tally {
         for (mine, theirs) in self.shed.iter_mut().zip(&other.shed) {
             *mine += theirs;
         }
+        for (mine, theirs) in self.expired.iter_mut().zip(&other.expired) {
+            *mine += theirs;
+        }
         for (mine, theirs) in self
             .branch_histograms
             .iter_mut()
@@ -1125,6 +1273,7 @@ impl Tally {
             self.class_dropped[index] += other.class_dropped[index];
             self.class_lost[index] += other.class_lost[index];
             self.class_shed[index] += other.class_shed[index];
+            self.class_expired[index] += other.class_expired[index];
             self.within_budget[index] += other.within_budget[index];
             self.class_histograms[index].merge(&other.class_histograms[index]);
         }
@@ -1147,6 +1296,7 @@ pub(crate) struct ShardSummary {
     pub(crate) completed: u64,
     pub(crate) dropped: u64,
     pub(crate) shed: u64,
+    pub(crate) expired: u64,
     pub(crate) histogram: LatencyHistogram,
 }
 
@@ -1173,16 +1323,21 @@ pub(crate) fn finalize(
     let total_dropped: u64 = tally.dropped.iter().sum();
     let total_lost: u64 = tally.lost.iter().sum();
     let total_shed: u64 = tally.shed.iter().sum();
+    let total_expired: u64 = tally.expired.iter().sum();
     let total_within: u64 = tally.within_budget.iter().sum();
     let total_busy_us: u64 = summaries.iter().map(|s| s.busy_us).sum();
     debug_assert_eq!(
-        total_completed + total_dropped + total_lost + total_shed,
+        total_completed + total_dropped + total_lost + total_shed + total_expired,
         total_issued,
         "fleet-wide request conservation violated"
     );
     for index in 0..tally.issued.len() {
         debug_assert_eq!(
-            tally.completed[index] + tally.dropped[index] + tally.lost[index] + tally.shed[index],
+            tally.completed[index]
+                + tally.dropped[index]
+                + tally.lost[index]
+                + tally.shed[index]
+                + tally.expired[index],
             tally.issued[index],
             "branch {index} request conservation violated"
         );
@@ -1192,14 +1347,15 @@ pub(crate) fn finalize(
             tally.class_completed[index]
                 + tally.class_dropped[index]
                 + tally.class_lost[index]
-                + tally.class_shed[index],
+                + tally.class_shed[index]
+                + tally.class_expired[index],
             tally.class_issued[index],
             "class {index} request conservation violated"
         );
     }
     for (index, s) in summaries.iter().enumerate() {
         debug_assert_eq!(
-            s.completed + s.dropped + s.shed,
+            s.completed + s.dropped + s.shed + s.expired,
             s.issued,
             "shard {index} request conservation violated"
         );
@@ -1222,6 +1378,7 @@ pub(crate) fn finalize(
             dropped: tally.dropped[index],
             lost: tally.lost[index],
             shed: tally.shed[index],
+            expired: tally.expired[index],
             latency: LatencySummary::of(&tally.branch_histograms[index]),
         })
         .collect();
@@ -1238,9 +1395,11 @@ pub(crate) fn finalize(
                 dropped: tally.class_dropped[index],
                 lost: tally.class_lost[index],
                 shed: tally.class_shed[index],
+                expired: tally.class_expired[index],
                 slo_attainment: attainment(
                     tally.within_budget[index],
                     tally.class_completed[index],
+                    tally.class_issued[index],
                 ),
                 latency: LatencySummary::of(&tally.class_histograms[index]),
             }
@@ -1253,6 +1412,7 @@ pub(crate) fn finalize(
             completed: s.completed,
             dropped: s.dropped,
             shed: s.shed,
+            expired: s.expired,
             state: s.phase,
             utilization: if makespan_us > 0 {
                 u64_to_f64(s.busy_us) / u64_to_f64(makespan_us)
@@ -1271,6 +1431,12 @@ pub(crate) fn finalize(
         } else {
             0.0
         }
+    };
+    let slo_attainment = attainment(total_within, total_completed, total_issued);
+    let slo_per_busy_sec = if total_busy_us > 0 {
+        slo_attainment / (u64_to_f64(total_busy_us) / 1e6)
+    } else {
+        0.0
     };
     let scheduler_name = if summaries
         .iter()
@@ -1321,15 +1487,24 @@ pub(crate) fn finalize(
         scale_events: tally.scale_events,
         shed: total_shed,
         admission: admission_name.to_owned(),
-        slo_attainment: attainment(total_within, total_completed),
+        slo_attainment,
         classes,
+        expired: total_expired,
+        fabric_busy_us: total_busy_us,
+        slo_per_busy_sec,
         trace_summary: None,
     }
 }
 
-fn attainment(within: u64, completed: u64) -> f64 {
-    if completed == 0 {
+/// Attainment over completions, with issued traffic deciding the vacuous
+/// case: a class (or run) that issued nothing scores 1.0 — there was no
+/// SLO to miss — while one that issued traffic but completed nothing
+/// scores 0.0 (every request missed its budget by never finishing).
+fn attainment(within: u64, completed: u64, issued: u64) -> f64 {
+    if issued == 0 {
         1.0
+    } else if completed == 0 {
+        0.0
     } else {
         u64_to_f64(within) / u64_to_f64(completed)
     }

@@ -81,6 +81,10 @@ impl LatencyHistogram {
     /// of the bucket containing the rank, or the observed maximum for ranks
     /// in the overflow bucket. Returns 0 for an empty histogram.
     pub fn percentile_ms(&self, p: f64) -> f64 {
+        debug_assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile {p} outside the documented domain 0 < p <= 100"
+        );
         if self.total == 0 {
             return 0.0;
         }
@@ -294,6 +298,24 @@ mod tests {
         assert_eq!(h.percentile_ms(50.0), 4.0);
         assert_eq!(h.percentile_ms(75.0), 6.0);
         assert_eq!(h.percentile_ms(100.0), 7.0); // clamped to the max (7 ms)
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the documented domain")]
+    #[cfg(debug_assertions)]
+    fn out_of_domain_percentile_panics_in_debug() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        let _ = h.percentile_ms(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the documented domain")]
+    #[cfg(debug_assertions)]
+    fn percentile_above_one_hundred_panics_in_debug() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        let _ = h.percentile_ms(100.1);
     }
 
     #[test]

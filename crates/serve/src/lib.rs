@@ -41,6 +41,14 @@
 //!   fourth terminal outcome with conservation `completed + dropped +
 //!   lost + shed == issued`. The classless path is the
 //!   everyone-is-`Standard` + admit-all special case, bit for bit.
+//! - **Deadlines** ([`SchedulerKind::Deadline`], [`DeadlinePolicy`]): an
+//!   earliest-deadline-first discipline serves the queue head with the
+//!   least remaining slack within class bands, and an opt-in expiry
+//!   policy ([`simulate_deadline`] and friends) retires requests whose
+//!   budget ran out while queued as a fifth terminal outcome `expired` —
+//!   `completed + dropped + lost + shed + expired == issued`. With
+//!   [`DeadlinePolicy::Off`] every legacy entry point stays
+//!   byte-identical.
 //! - **Scale** ([`calendar::Calendar`], [`simulate_fleet_parallel`]): the
 //!   loop is driven by an indexed event calendar (a binary min-heap with a
 //!   total, deterministic key order) instead of per-iteration linear
@@ -98,6 +106,7 @@ mod admission;
 mod autoscale;
 pub mod calendar;
 mod cast;
+mod deadline;
 mod engine;
 mod fleet;
 mod histogram;
@@ -116,21 +125,26 @@ pub use admission::{
     QueueThresholdAdmission,
 };
 pub use autoscale::{Autoscaler, FailurePlan, ScaleEvent, ScaleEventKind, ShardState};
+pub use deadline::DeadlinePolicy;
 pub use engine::{
-    simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos,
+    simulate, simulate_autoscaled, simulate_autoscaled_deadline, simulate_autoscaled_qos,
+    simulate_deadline, simulate_fleet, simulate_fleet_deadline, simulate_fleet_qos,
     simulate_fleet_with, simulate_qos, simulate_traced, simulate_with,
 };
 pub use fleet::{FleetConfig, LoadBalancerKind};
 pub use histogram::LatencyHistogram;
 pub use model::{BranchService, ServiceModel};
 pub use parallel::{
-    simulate_fleet_parallel, simulate_fleet_qos_parallel, simulate_fleet_traced_parallel,
+    simulate_fleet_deadline_parallel, simulate_fleet_parallel, simulate_fleet_qos_parallel,
+    simulate_fleet_traced_parallel,
 };
 pub use qos::{ClassMix, QosClass, CLASS_COUNT};
 pub use report::{BranchServeStats, ClassServeStats, LatencySummary, ServeReport, ShardStats};
 pub use request::Request;
 pub use scenario::{ArrivalPattern, Scenario};
-pub use scheduler::{BatchScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind};
+pub use scheduler::{
+    BatchScheduler, DeadlineScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind,
+};
 
 // Observability surface, re-exported from `fcad-obs` so traced serving
 // needs only this crate: the sink trait and its implementations, the

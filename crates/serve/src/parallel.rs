@@ -31,13 +31,14 @@ use crate::admission::{admit_traced, AdmissionController, AdmissionKind};
 use crate::autoscale::{Autoscaler, FailurePlan, ShardState};
 use crate::calendar::{LANE_ARRIVAL, LANE_DISPATCH};
 use crate::cast::usize_to_u64;
-use crate::engine::{finalize, simulate_traced, Shard, ShardSummary, Tally};
+use crate::deadline::DeadlinePolicy;
+use crate::engine::{finalize, run as run_sequential, simulate_traced, Shard, ShardSummary, Tally};
 use crate::fleet::{FleetConfig, LoadBalancerKind};
 use crate::model::ServiceModel;
 use crate::report::ServeReport;
 use crate::request::Request;
 use crate::scenario::Scenario;
-use crate::scheduler::SchedulerKind;
+use crate::scheduler::{Scheduler, SchedulerKind};
 
 /// [`crate::engine::simulate_fleet`] executed across `workers` threads.
 ///
@@ -81,18 +82,75 @@ pub fn simulate_fleet_traced_parallel(
     sink: &mut dyn TraceSink,
     workers: usize,
 ) -> ServeReport {
+    run_parallel(
+        config,
+        scenario,
+        kind,
+        admission,
+        DeadlinePolicy::Off,
+        sink,
+        workers,
+    )
+}
+
+/// [`crate::engine::simulate_fleet_deadline`] executed across `workers`
+/// threads. Expiry culling inspects only the owning shard's clock and
+/// queue, so the decomposition (and the exact-merge reduction) holds
+/// unchanged: identical inputs produce a report byte-identical to the
+/// sequential deadline engine at every worker count, and
+/// [`DeadlinePolicy::Off`] reproduces [`simulate_fleet_qos_parallel`] bit
+/// for bit.
+pub fn simulate_fleet_deadline_parallel(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+    workers: usize,
+) -> ServeReport {
+    run_parallel(
+        config, scenario, kind, admission, deadline, &mut Off, workers,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+    sink: &mut dyn TraceSink,
+    workers: usize,
+) -> ServeReport {
     let decomposable = matches!(
         config.balancer,
         LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
     );
     if workers <= 1 || config.shard_count() <= 1 || !decomposable {
-        return simulate_traced(
+        if !deadline.culls() {
+            return simulate_traced(
+                config,
+                scenario,
+                kind,
+                &Autoscaler::none(),
+                &FailurePlan::none(),
+                admission,
+                sink,
+            );
+        }
+        let schedulers: Vec<Box<dyn Scheduler>> =
+            (0..config.shard_count()).map(|_| kind.build()).collect();
+        let mut controller = admission.build();
+        return run_sequential(
             config,
             scenario,
-            kind,
+            schedulers,
+            Some(kind),
             &Autoscaler::none(),
             &FailurePlan::none(),
-            admission,
+            controller.as_mut(),
+            deadline,
             sink,
         );
     }
@@ -163,6 +221,7 @@ pub fn simulate_fleet_traced_parallel(
                                     controller.as_mut(),
                                     &slice,
                                     capacity,
+                                    deadline,
                                     &mut worker_tally,
                                     tracing,
                                 ),
@@ -280,6 +339,7 @@ fn simulate_shard(
     admission: &mut dyn AdmissionController,
     arrivals: &[Request],
     capacity: usize,
+    deadline: DeadlinePolicy,
     tally: &mut Tally,
     tracing: bool,
 ) -> ShardOutcome {
@@ -295,8 +355,50 @@ fn simulate_shard(
         if shard.scheduler.queued() > 0 && shard.dispatch_at() < arrival_at {
             let now_us = shard.dispatch_at();
             sink.begin_step(now_us, LANE_DISPATCH, usize_to_u64(shard_id));
-            let batch = shard.scheduler.next_batch(&shard.model, now_us, &[]);
-            debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+            // Same culling discipline as the sequential dispatch arm:
+            // already-expired requests retire straight out of the queue,
+            // and a fully-dead batch is followed by another pop at the
+            // same instant — culling costs no fabric time.
+            let batch = loop {
+                let popped = shard.scheduler.next_batch(&shard.model, now_us, &[]);
+                debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
+                let live = if deadline.culls() {
+                    let mut live = Vec::with_capacity(popped.len());
+                    for request in popped {
+                        if now_us > request.deadline_us() {
+                            let single_us = shard.single_cost_us[request.branch];
+                            let class = request.class.index();
+                            shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
+                            shard.class_backlog_us[class] =
+                                shard.class_backlog_us[class].saturating_sub(single_us);
+                            shard.expired += 1;
+                            tally.expired[request.branch] += 1;
+                            tally.class_expired[class] += 1;
+                            if tracing {
+                                sink.record(request.trace(
+                                    now_us,
+                                    Some(shard_id),
+                                    RequestEventKind::Expired,
+                                ));
+                            }
+                        } else {
+                            live.push(request);
+                        }
+                    }
+                    live
+                } else {
+                    popped
+                };
+                if !live.is_empty() || shard.scheduler.queued() == 0 {
+                    break live;
+                }
+            };
+            if batch.is_empty() {
+                // Expiry drained the whole queue without touching the
+                // fabric — `free_at_us` stays put.
+                shard.pending_since_us = 0;
+                continue;
+            }
             let branch = batch[0].branch;
             debug_assert!(batch.iter().all(|r| r.branch == branch));
             let service_us = shard.model.batch_service_us(branch, batch.len());
@@ -388,6 +490,7 @@ fn simulate_shard(
         completed: shard.completed,
         dropped: shard.dropped,
         shed: shard.shed,
+        expired: shard.expired,
         histogram: shard.histogram,
     };
     ShardOutcome {

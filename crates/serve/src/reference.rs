@@ -126,6 +126,7 @@ pub fn build(kind: SchedulerKind) -> Box<dyn Scheduler> {
         SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
         SchedulerKind::PriorityByBranch => Box::new(PriorityScheduler::new()),
         SchedulerKind::BatchAggregating => Box::new(BatchScheduler::new()),
+        SchedulerKind::Deadline => Box::new(DeadlineScheduler::new()),
     }
 }
 
@@ -331,6 +332,75 @@ impl Scheduler for BatchScheduler {
                 let batch: Vec<Request> = self.queues[branch].drain(..take).collect();
                 self.queued -= batch.len();
                 batch
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Frozen earliest-deadline-first discipline: every `next_batch` rescans
+/// every `(branch, class)` queue head for the minimum
+/// `(class, deadline, branch)` key. The heap-indexed
+/// [`crate::DeadlineScheduler`] must match this rescan decision for
+/// decision.
+#[derive(Debug, Default)]
+pub struct DeadlineScheduler {
+    queues: Vec<[VecDeque<Request>; CLASS_COUNT]>,
+    queued: usize,
+}
+
+impl DeadlineScheduler {
+    /// Creates the frozen discipline with empty per-lane queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for DeadlineScheduler {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn enqueue(&mut self, request: Request, _now_us: u64) {
+        if request.branch >= self.queues.len() {
+            self.queues
+                .resize_with(request.branch + 1, Default::default);
+        }
+        self.queues[request.branch][request.class.index()].push_back(request);
+        self.queued += 1;
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn next_batch(
+        &mut self,
+        _model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        let candidate = |ready: bool| {
+            self.queues
+                .iter()
+                .enumerate()
+                .filter(|(branch, _)| {
+                    (branch_free_us.get(*branch).copied().unwrap_or(0) <= now_us) == ready
+                })
+                .flat_map(|(branch, lanes)| {
+                    lanes.iter().enumerate().filter_map(move |(class, queue)| {
+                        queue
+                            .front()
+                            .map(|head| (class, head.deadline_us(), branch))
+                    })
+                })
+                .min()
+        };
+        let tightest = candidate(true).or_else(|| candidate(false));
+        match tightest {
+            Some((class, _, branch)) => {
+                self.queued -= 1;
+                self.queues[branch][class].pop_front().into_iter().collect()
             }
             None => Vec::new(),
         }
@@ -996,6 +1066,7 @@ fn run<'a>(
             dropped: dropped[index],
             lost: lost[index],
             shed: shed[index],
+            expired: 0,
             latency: LatencySummary::of(&branch_histograms[index]),
         })
         .collect();
@@ -1012,7 +1083,12 @@ fn run<'a>(
                 dropped: class_dropped[index],
                 lost: class_lost[index],
                 shed: class_shed[index],
-                slo_attainment: attainment(within_budget[index], class_completed[index]),
+                expired: 0,
+                slo_attainment: attainment(
+                    within_budget[index],
+                    class_completed[index],
+                    class_issued[index],
+                ),
                 latency: LatencySummary::of(&class_histograms[index]),
             }
         })
@@ -1024,6 +1100,7 @@ fn run<'a>(
             completed: s.completed,
             dropped: s.dropped,
             shed: s.shed,
+            expired: 0,
             state: s.phase,
             utilization: if makespan_us > 0 {
                 u64_to_f64(s.busy_us) / u64_to_f64(makespan_us)
@@ -1042,6 +1119,12 @@ fn run<'a>(
         } else {
             0.0
         }
+    };
+    let slo_attainment = attainment(total_within, total_completed, total_issued);
+    let slo_per_busy_sec = if total_busy_us > 0 {
+        slo_attainment / (u64_to_f64(total_busy_us) / 1e6)
+    } else {
+        0.0
     };
     let scheduler_name = if shards
         .iter()
@@ -1092,15 +1175,24 @@ fn run<'a>(
         scale_events,
         shed: total_shed,
         admission: admission.name().to_owned(),
-        slo_attainment: attainment(total_within, total_completed),
+        slo_attainment,
         classes,
+        expired: 0,
+        fabric_busy_us: total_busy_us,
+        slo_per_busy_sec,
         trace_summary: None,
     }
 }
 
-fn attainment(within: u64, completed: u64) -> f64 {
-    if completed == 0 {
+/// Attainment over completions, with issued traffic deciding the vacuous
+/// case: a class (or run) that issued nothing scores 1.0 — there was no
+/// SLO to miss — while one that issued traffic but completed nothing
+/// scores 0.0 (every request missed its budget by never finishing).
+fn attainment(within: u64, completed: u64, issued: u64) -> f64 {
+    if issued == 0 {
         1.0
+    } else if completed == 0 {
+        0.0
     } else {
         u64_to_f64(within) / u64_to_f64(completed)
     }

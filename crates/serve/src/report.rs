@@ -56,6 +56,9 @@ pub struct BranchServeStats {
     pub lost: u64,
     /// Requests shed by the admission controller (0 under admit-all).
     pub shed: u64,
+    /// Requests retired in-queue by the deadline policy (0 when the
+    /// policy is off — every legacy path).
+    pub expired: u64,
     /// Latency summary over completed requests.
     pub latency: LatencySummary,
 }
@@ -79,8 +82,12 @@ pub struct ClassServeStats {
     pub lost: u64,
     /// Requests shed by the admission controller.
     pub shed: u64,
+    /// Requests of this class retired in-queue by the deadline policy.
+    pub expired: u64,
     /// Fraction of this class's completed requests that finished within
-    /// the class budget (1.0 when nothing completed).
+    /// the class budget. A class that issued traffic but completed
+    /// nothing scores 0.0; only a class with no traffic at all scores a
+    /// vacuous 1.0.
     pub slo_attainment: f64,
     /// Latency summary over this class's completed requests.
     pub latency: LatencySummary,
@@ -97,6 +104,8 @@ pub struct ShardStats {
     pub dropped: u64,
     /// Requests the admission controller shed at this shard's front door.
     pub shed: u64,
+    /// Requests retired from this shard's queue by the deadline policy.
+    pub expired: u64,
     /// The shard's lifecycle state at the end of the run (every shard of
     /// a fixed fleet stays active).
     pub state: ShardState,
@@ -182,12 +191,26 @@ pub struct ServeReport {
     /// Admission policy name (`admit_all` on the legacy paths).
     pub admission: String,
     /// Fraction of completed requests that finished within their class
-    /// budget (1.0 when nothing completed). The SLO headline: policies
-    /// are compared on this, not raw p99.
+    /// budget. A run that issued traffic but completed nothing scores
+    /// 0.0; only a run with no traffic at all scores a vacuous 1.0. The
+    /// SLO headline: policies are compared on this, not raw p99.
     pub slo_attainment: f64,
     /// Per-class statistics, in [`QosClass::all`] order (a classless run
     /// carries everything in the `standard` row).
     pub classes: Vec<ClassServeStats>,
+    /// Requests retired in-queue by the deadline policy — the fifth
+    /// terminal outcome, distinct from `shed` (rejected *before* the
+    /// queue): `completed + dropped + lost + shed + expired == issued`.
+    /// Always 0 when [`DeadlinePolicy::Off`](crate::DeadlinePolicy::Off)
+    /// — every legacy path.
+    pub expired: u64,
+    /// Total fabric busy time summed over shards, microseconds — the
+    /// denominator for SLO-per-busy-time comparisons.
+    pub fabric_busy_us: u64,
+    /// `slo_attainment` per second of fabric busy time — how much SLO a
+    /// discipline buys per unit of fabric it burns (0 for an idle run).
+    /// Culling expired work raises this even when raw attainment ties.
+    pub slo_per_busy_sec: f64,
     /// Event counts of the trace captured alongside this run, when the
     /// caller attached a recording sink via [`with_trace_summary`]
     /// (`None` otherwise — the engine itself never sets it, so traced and
@@ -206,24 +229,25 @@ impl ServeReport {
     /// totals, and the class rows partition every fleet counter.
     pub fn conserves_requests(&self) -> bool {
         let sums = |f: fn(&ClassServeStats) -> u64| self.classes.iter().map(f).sum::<u64>();
-        self.completed + self.dropped + self.lost + self.shed == self.issued
+        self.completed + self.dropped + self.lost + self.shed + self.expired == self.issued
             && self
                 .branches
                 .iter()
-                .all(|b| b.completed + b.dropped + b.lost + b.shed == b.issued)
+                .all(|b| b.completed + b.dropped + b.lost + b.shed + b.expired == b.issued)
             && self
                 .classes
                 .iter()
-                .all(|c| c.completed + c.dropped + c.lost + c.shed == c.issued)
+                .all(|c| c.completed + c.dropped + c.lost + c.shed + c.expired == c.issued)
             && sums(|c| c.issued) == self.issued
             && sums(|c| c.completed) == self.completed
             && sums(|c| c.dropped) == self.dropped
             && sums(|c| c.lost) == self.lost
             && sums(|c| c.shed) == self.shed
+            && sums(|c| c.expired) == self.expired
             && self
                 .shards
                 .iter()
-                .all(|s| s.completed + s.dropped + s.shed == s.issued)
+                .all(|s| s.completed + s.dropped + s.shed + s.expired == s.issued)
             && self.shards.iter().map(|s| s.issued).sum::<u64>() + self.lost == self.issued
             && self.shards.iter().map(|s| s.completed).sum::<u64>() == self.completed
     }
@@ -270,6 +294,7 @@ impl ServeReport {
                     .f64("max_ms", b.latency.max_ms)
                     .u64("lost", b.lost)
                     .u64("shed", b.shed)
+                    .u64("expired", b.expired)
                     .render()
             })
             .collect();
@@ -287,6 +312,7 @@ impl ServeReport {
                     .f64("max_ms", s.latency.max_ms)
                     .str("state", s.state.name())
                     .u64("shed", s.shed)
+                    .u64("expired", s.expired)
                     .render()
             })
             .collect();
@@ -307,6 +333,7 @@ impl ServeReport {
                     .f64("p50_ms", c.latency.p50_ms)
                     .f64("p99_ms", c.latency.p99_ms)
                     .f64("max_ms", c.latency.max_ms)
+                    .u64("expired", c.expired)
                     .render()
             })
             .collect();
@@ -360,7 +387,10 @@ impl ServeReport {
             .u64("shed", self.shed)
             .str("admission", &self.admission)
             .f64("slo_attainment", self.slo_attainment)
-            .raw("classes", &array(&classes));
+            .raw("classes", &array(&classes))
+            .u64("expired", self.expired)
+            .u64("fabric_busy_us", self.fabric_busy_us)
+            .f64("slo_per_busy_sec", self.slo_per_busy_sec);
         // Optional tail: appended strictly after every unconditional key,
         // so untraced lines are byte-identical to the pre-tracing format.
         if let Some(trace) = trace_summary {
@@ -398,6 +428,7 @@ mod tests {
                 dropped: 1,
                 lost: 0,
                 shed: 0,
+                expired: 0,
                 latency: LatencySummary::default(),
             }],
             shards: vec![ShardStats {
@@ -405,6 +436,7 @@ mod tests {
                 completed: 9,
                 dropped: 1,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 0.5,
                 latency: LatencySummary::default(),
@@ -419,6 +451,9 @@ mod tests {
             admission: "admit_all".into(),
             slo_attainment: 1.0,
             classes: standard_only_classes(10, 9, 1, 0, 0),
+            expired: 0,
+            fabric_busy_us: 500_000,
+            slo_per_busy_sec: 2.0,
             trace_summary: None,
         }
     }
@@ -445,6 +480,7 @@ mod tests {
                     dropped: if hit { dropped } else { 0 },
                     lost: if hit { lost } else { 0 },
                     shed: if hit { shed } else { 0 },
+                    expired: 0,
                     slo_attainment: 1.0,
                     latency: LatencySummary::default(),
                 }
@@ -485,6 +521,9 @@ mod tests {
             "\"classes\":[{\"class\":\"interactive\"",
             "\"budget_ms\":400.0000",
             "\"weight\":0.2500",
+            "\"expired\":0",
+            "\"fabric_busy_us\":500000",
+            "\"slo_per_busy_sec\":2.0000",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
@@ -575,6 +614,46 @@ mod tests {
         assert!(r.conserves_requests());
         r.shards[0].shed = 1;
         assert!(!r.conserves_requests(), "shard shed must match its books");
+    }
+
+    #[test]
+    fn conservation_checks_the_fifth_outcome() {
+        // Expired requests balance the books at every level…
+        let mut r = report();
+        r.issued = 12;
+        r.expired = 2;
+        r.branches[0].issued = 12;
+        r.branches[0].expired = 2;
+        r.shards[0].issued = 12;
+        r.shards[0].expired = 2;
+        r.classes[1].issued = 12;
+        r.classes[1].expired = 2;
+        assert!(r.conserves_requests());
+        // …and every level is audited independently.
+        r.shards[0].expired = 1;
+        assert!(
+            !r.conserves_requests(),
+            "shard expired must match its books"
+        );
+        let mut r = report();
+        r.expired = 1;
+        assert!(
+            !r.conserves_requests(),
+            "fleet expired must match the books"
+        );
+    }
+
+    #[test]
+    fn deadline_fields_render_after_the_qos_tail() {
+        // Append-only growth: the deadline section comes after everything
+        // the QoS refactor appended, and before the optional trace tail.
+        let line = report().to_json_line();
+        let classes_at = line.rfind("\"classes\":[").expect("classes");
+        for key in ["\"expired\":0,\"fabric_busy_us\":", "\"slo_per_busy_sec\":"] {
+            let at = line.rfind(key).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(at > classes_at, "{key} must render after the class list");
+        }
+        assert!(line.ends_with("\"slo_per_busy_sec\":2.0000}"));
     }
 
     #[test]

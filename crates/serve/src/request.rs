@@ -63,6 +63,14 @@ impl Request {
     pub fn meets_slo(&self, done_us: u64) -> bool {
         self.latency_us(done_us) <= self.class.budget_us()
     }
+
+    /// The absolute instant this request's class budget runs out:
+    /// `issued_at_us + budget_us`, saturating. Completing at exactly the
+    /// deadline still meets the SLO; one microsecond later misses it.
+    #[inline]
+    pub fn deadline_us(&self) -> u64 {
+        self.issued_at_us.saturating_add(self.class.budget_us())
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +89,26 @@ mod tests {
         assert_eq!(r.latency_us(3_500), 2_500);
         // Completion can never precede arrival; saturate rather than wrap.
         assert_eq!(r.latency_us(500), 0);
+    }
+
+    #[test]
+    fn deadline_is_arrival_plus_budget_and_agrees_with_meets_slo() {
+        let r = Request {
+            id: 0,
+            session: 0,
+            branch: 0,
+            issued_at_us: 2_000,
+            class: QosClass::Interactive,
+        };
+        assert_eq!(r.deadline_us(), 102_000);
+        assert!(r.meets_slo(r.deadline_us()));
+        assert!(!r.meets_slo(r.deadline_us() + 1));
+        // The deadline saturates instead of wrapping for late arrivals.
+        let late = Request {
+            issued_at_us: u64::MAX - 10,
+            ..r
+        };
+        assert_eq!(late.deadline_us(), u64::MAX);
     }
 
     #[test]

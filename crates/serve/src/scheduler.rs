@@ -112,6 +112,12 @@ pub enum SchedulerKind {
     /// Aggregates same-branch requests into batches up to the DSE-chosen
     /// batch size, amortizing pipeline fill.
     BatchAggregating,
+    /// Earliest-deadline-first within class bands: among the queue heads,
+    /// serve the one whose absolute deadline (`arrival + class budget`)
+    /// comes soonest, with the class order as the outer band so
+    /// interactive work always outranks best-effort. FIFO within a
+    /// `(branch, class)` lane, one request per dispatch.
+    Deadline,
 }
 
 impl SchedulerKind {
@@ -122,6 +128,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo,
             SchedulerKind::PriorityByBranch,
             SchedulerKind::BatchAggregating,
+            SchedulerKind::Deadline,
         ]
     }
 
@@ -131,6 +138,7 @@ impl SchedulerKind {
             SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
             SchedulerKind::PriorityByBranch => Box::new(PriorityScheduler::new()),
             SchedulerKind::BatchAggregating => Box::new(BatchScheduler::new()),
+            SchedulerKind::Deadline => Box::new(DeadlineScheduler::new()),
         }
     }
 }
@@ -586,6 +594,131 @@ impl Scheduler for BatchScheduler {
     }
 }
 
+/// Earliest-deadline-first within class bands: serves the `(branch,
+/// class)` queue whose head minimizes `(class index, absolute deadline,
+/// branch)`, FIFO within a lane, one request per dispatch.
+///
+/// The absolute deadline is [`Request::deadline_us`] — `arrival + class
+/// budget` — so within a class band the discipline is classic EDF over
+/// the queue heads; the class index as the outer key keeps interactive
+/// work ahead of best-effort even when the best-effort deadline happens
+/// to come sooner (its budget is 20× longer, so in practice it rarely
+/// does). The key is pure integers with no model dependence, so one
+/// stamp-invalidated min-heap over the lane heads reproduces the frozen
+/// rescan bit for bit on the engine's no-hint path.
+#[derive(Debug, Default)]
+pub struct DeadlineScheduler {
+    /// One FIFO per `(branch, class)`, branch-major.
+    queues: Vec<[VecDeque<Request>; CLASS_COUNT]>,
+    queued: usize,
+    /// Per-lane head stamp; bumped per pop so superseded entries die.
+    stamps: Vec<[u64; CLASS_COUNT]>,
+    /// Min-heap of `(class, deadline, branch, stamp)` over lane heads.
+    heads: BinaryHeap<Reverse<(usize, u64, usize, u64)>>,
+}
+
+impl DeadlineScheduler {
+    /// Creates the discipline with empty per-lane queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes the current head of `(branch, class)` into the head index.
+    fn index_head(&mut self, branch: usize, class: usize) {
+        if let Some(head) = self.queues[branch][class].front() {
+            self.heads.push(Reverse((
+                class,
+                head.deadline_us(),
+                branch,
+                self.stamps[branch][class],
+            )));
+        }
+    }
+
+    /// Removes the head of `(branch, class)`, bumps its stamp (killing
+    /// any remaining index entries for the old head) and indexes the new
+    /// head.
+    fn pop_front(&mut self, branch: usize, class: usize) -> Vec<Request> {
+        self.queued -= 1;
+        self.stamps[branch][class] += 1;
+        let popped = self.queues[branch][class].pop_front();
+        self.index_head(branch, class);
+        popped.into_iter().collect()
+    }
+}
+
+impl Scheduler for DeadlineScheduler {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn enqueue(&mut self, request: Request, _now_us: u64) {
+        if request.branch >= self.queues.len() {
+            self.queues
+                .resize_with(request.branch + 1, Default::default);
+            self.stamps.resize(request.branch + 1, [0; CLASS_COUNT]);
+        }
+        let branch = request.branch;
+        let class = request.class.index();
+        let was_empty = self.queues[branch][class].is_empty();
+        self.queues[branch][class].push_back(request);
+        self.queued += 1;
+        if was_empty {
+            self.index_head(branch, class);
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn next_batch(
+        &mut self,
+        _model: &ServiceModel,
+        now_us: u64,
+        branch_free_us: &[u64],
+    ) -> Vec<Request> {
+        // The engine's hot path: every branch ready, so the head heap's
+        // live minimum is exactly the rescan's `(class, deadline, branch)`
+        // minimum.
+        if branch_free_us.is_empty() {
+            while let Some(&Reverse((class, _, branch, stamp))) = self.heads.peek() {
+                if stamp == self.stamps[branch][class] {
+                    self.heads.pop();
+                    return self.pop_front(branch, class);
+                }
+                self.heads.pop();
+            }
+            return Vec::new();
+        }
+        // Frozen-rescan fallback: tightest deadline among ready pipelines
+        // first; only when every candidate is busy pick the tightest
+        // deadline overall. `pop_front` bumps the stamp, so the index
+        // stays truthful across mixed hinted/unhinted call patterns.
+        let candidate = |ready: bool| {
+            self.queues
+                .iter()
+                .enumerate()
+                .filter(|(branch, _)| {
+                    (branch_free_us.get(*branch).copied().unwrap_or(0) <= now_us) == ready
+                })
+                .flat_map(|(branch, lanes)| {
+                    lanes.iter().enumerate().filter_map(move |(class, queue)| {
+                        queue
+                            .front()
+                            .map(|head| (class, head.deadline_us(), branch))
+                    })
+                })
+                .min()
+        };
+        let tightest = candidate(true).or_else(|| candidate(false));
+        match tightest {
+            Some((class, _, branch)) => self.pop_front(branch, class),
+            None => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,7 +858,41 @@ mod tests {
             .iter()
             .map(|k| k.build().name())
             .collect();
-        assert_eq!(names, vec!["fifo", "priority", "batch"]);
+        assert_eq!(names, vec!["fifo", "priority", "batch", "deadline"]);
+    }
+
+    #[test]
+    fn deadline_serves_the_tightest_deadline_within_class_bands() {
+        let model = test_model();
+        let mut sched = DeadlineScheduler::new();
+        // Standard issued at 0 → deadline 400 ms; interactive issued at
+        // 350 ms → deadline 450 ms. The interactive band still wins even
+        // with the later absolute deadline.
+        sched.enqueue(classed(0, 0, QosClass::Standard, 0), 0);
+        sched.enqueue(classed(1, 1, QosClass::Interactive, 350_000), 350_000);
+        // Standard issued at 10 ms → deadline 410 ms: within the standard
+        // band, EDF serves the 400 ms deadline first.
+        sched.enqueue(classed(2, 2, QosClass::Standard, 10_000), 350_000);
+        let order: Vec<u64> = (0..3)
+            .map(|_| sched.next_batch(&model, 350_000, &[])[0].id)
+            .collect();
+        assert_eq!(order, vec![1, 0, 2]);
+        assert_eq!(sched.queued(), 0);
+    }
+
+    #[test]
+    fn deadline_breaks_exact_ties_on_the_lowest_branch() {
+        let model = test_model();
+        let mut sched = DeadlineScheduler::new();
+        // Same class, same arrival ⇒ identical deadlines; the branch
+        // index is the deterministic tie-break.
+        sched.enqueue(request(0, 2, 100), 100);
+        sched.enqueue(request(1, 0, 100), 100);
+        sched.enqueue(request(2, 1, 100), 100);
+        let order: Vec<usize> = (0..3)
+            .map(|_| sched.next_batch(&model, 200, &[])[0].branch)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     // --- Indexed fast path (empty readiness hint) ---
@@ -807,6 +974,42 @@ mod tests {
             crate::reference::BatchScheduler::new(),
             &[],
         );
+    }
+
+    #[test]
+    fn deadline_index_matches_the_frozen_rescan() {
+        assert_pops_match_reference(
+            &churn_stream(),
+            DeadlineScheduler::new(),
+            crate::reference::DeadlineScheduler::new(),
+            &[],
+        );
+    }
+
+    #[test]
+    fn deadline_mixed_hint_and_indexed_calls_stay_consistent() {
+        // Alternating hinted (rescan fallback) and unhinted (indexed)
+        // picks must agree with an all-rescan frozen scheduler: the
+        // fallback's stamp fixup keeps the index truthful.
+        let model = test_model();
+        let mut rebuilt = DeadlineScheduler::new();
+        let mut frozen = crate::reference::DeadlineScheduler::new();
+        for request in churn_stream() {
+            let now = request.issued_at_us;
+            rebuilt.enqueue(request, now);
+            frozen.enqueue(request, now);
+        }
+        let mut now = 200_000;
+        let mut flip = false;
+        while frozen.queued() > 0 {
+            let hint: &[u64] = if flip { &[0; 3] } else { &[] };
+            let a = rebuilt.next_batch(&model, now, hint);
+            let b = frozen.next_batch(&model, now, &[0; 3]);
+            assert_eq!(a, b, "hint-mixed pop diverged at t={now}");
+            flip = !flip;
+            now += 500;
+        }
+        assert_eq!(rebuilt.queued(), 0);
     }
 
     #[test]

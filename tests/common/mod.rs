@@ -66,6 +66,7 @@ pub fn scheduler_strategy() -> impl Strategy<Value = SchedulerKind> {
         Just(SchedulerKind::Fifo),
         Just(SchedulerKind::PriorityByBranch),
         Just(SchedulerKind::BatchAggregating),
+        Just(SchedulerKind::Deadline),
     ]
 }
 
@@ -95,9 +96,9 @@ pub fn class_mix_strategy() -> impl Strategy<Value = ClassMix> {
 /// must tell the same story as the counters. Checks
 ///
 /// - one `Arrival` per issued request, one `Replace` per re-placement;
-/// - terminal events (`Complete`/`Drop`/`Lost`/`Shed`) match the report's
-///   completed/dropped/lost/shed — fleet-wide, per branch, per class, and
-///   (for the shard-attributed outcomes) per shard;
+/// - terminal events (`Complete`/`Drop`/`Lost`/`Shed`/`Expired`) match the
+///   report's completed/dropped/lost/shed/expired — fleet-wide, per
+///   branch, per class, and (for the shard-attributed outcomes) per shard;
 /// - every batch dispatch lands inside its shard's live lifecycle
 ///   interval: after the warm-up of a spawned shard, before any
 ///   failure/retirement;
@@ -112,11 +113,12 @@ pub fn check_trace_against_report(events: &[TraceEvent], report: &ServeReport) {
     let shards = report.shards.len();
     let mut arrivals = 0u64;
     let mut replaces = 0u64;
-    // Terminal tallies: [completed, dropped, lost, shed] per dimension.
-    let mut fleet = [0u64; 4];
-    let mut per_branch = vec![[0u64; 4]; branches];
-    let mut per_class = vec![[0u64; 4]; classes];
-    let mut per_shard = vec![[0u64; 4]; shards];
+    // Terminal tallies: [completed, dropped, lost, shed, expired] per
+    // dimension.
+    let mut fleet = [0u64; 5];
+    let mut per_branch = vec![[0u64; 5]; branches];
+    let mut per_class = vec![[0u64; 5]; classes];
+    let mut per_shard = vec![[0u64; 5]; shards];
     for event in events {
         let TraceEvent::Request(e) = event else {
             continue;
@@ -137,6 +139,7 @@ pub fn check_trace_against_report(events: &[TraceEvent], report: &ServeReport) {
             RequestEventKind::Drop => 1,
             RequestEventKind::Lost { .. } => 2,
             RequestEventKind::Shed => 3,
+            RequestEventKind::Expired => 4,
             _ => continue,
         };
         fleet[outcome] += 1;
@@ -152,19 +155,37 @@ pub fn check_trace_against_report(events: &[TraceEvent], report: &ServeReport) {
     }
     assert_eq!(arrivals, report.issued, "one Arrival per issued request");
     assert_eq!(replaces, report.replaced, "one Replace per re-placement");
-    let expect_fleet = [report.completed, report.dropped, report.lost, report.shed];
+    let expect_fleet = [
+        report.completed,
+        report.dropped,
+        report.lost,
+        report.shed,
+        report.expired,
+    ];
     assert_eq!(fleet, expect_fleet, "fleet-wide terminal counts");
     for (index, branch) in report.branches.iter().enumerate() {
         assert_eq!(
             per_branch[index],
-            [branch.completed, branch.dropped, branch.lost, branch.shed],
+            [
+                branch.completed,
+                branch.dropped,
+                branch.lost,
+                branch.shed,
+                branch.expired,
+            ],
             "branch {index} terminal counts"
         );
     }
     for (index, class) in report.classes.iter().enumerate() {
         assert_eq!(
             per_class[index],
-            [class.completed, class.dropped, class.lost, class.shed],
+            [
+                class.completed,
+                class.dropped,
+                class.lost,
+                class.shed,
+                class.expired,
+            ],
             "class {index} terminal counts"
         );
     }
@@ -175,9 +196,10 @@ pub fn check_trace_against_report(events: &[TraceEvent], report: &ServeReport) {
             [
                 per_shard[index][0],
                 per_shard[index][1],
-                per_shard[index][3]
+                per_shard[index][3],
+                per_shard[index][4]
             ],
-            [shard.completed, shard.dropped, shard.shed],
+            [shard.completed, shard.dropped, shard.shed, shard.expired],
             "shard {index} terminal counts"
         );
         assert_eq!(per_shard[index][2], 0, "no lost event names a shard");

@@ -15,14 +15,27 @@
 //! failure-injected engine without breaking per-class conservation.
 
 use fcad_serve::{
-    simulate, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_qos, simulate_qos,
-    AdmissionKind, Autoscaler, ClassMix, FailurePlan, FleetConfig, LoadBalancerKind, QosClass,
-    Scenario, SchedulerKind, ServeReport,
+    simulate, simulate_autoscaled_deadline, simulate_autoscaled_qos, simulate_deadline,
+    simulate_fleet, simulate_fleet_deadline, simulate_fleet_deadline_parallel, simulate_fleet_qos,
+    simulate_qos, AdmissionKind, Autoscaler, ClassMix, DeadlinePolicy, FailurePlan, FleetConfig,
+    LoadBalancerKind, QosClass, Scenario, SchedulerKind, ServeReport, ServiceModel,
 };
 
 mod common;
 
 use common::three_branch_model as model;
+
+/// The three-branch model slowed 4×: the b2-class burst now oversubscribes
+/// the device hard enough that queue waits blow through the interactive
+/// budget — the regime expiry culling exists for.
+fn slow_model() -> ServiceModel {
+    let mut slowed = model();
+    for branch in &mut slowed.branches {
+        branch.frame_time_us *= 4;
+        branch.fill_time_us *= 4;
+    }
+    slowed
+}
 
 /// The ISSUE's acceptance gate: all-`Standard` + admit-all is the legacy
 /// engine bit for bit — single device and fleet, for every scheduler ×
@@ -214,5 +227,227 @@ fn qos_composes_with_failure_injection() {
             balancer.name()
         );
         assert_eq!(report.admission, "queue_threshold");
+    }
+}
+
+/// `DeadlinePolicy::Off` is invisible: every deadline-aware entry point
+/// with culling off is byte-identical to its QoS counterpart — single
+/// device and fleet, sequential and parallel, for every scheduler ×
+/// balancer × suite scenario. The EDF discipline itself rides the same
+/// grid via `SchedulerKind::all()`.
+#[test]
+fn deadline_policy_off_is_byte_identical_everywhere() {
+    for scenario in Scenario::suite() {
+        for &kind in SchedulerKind::all() {
+            let single = simulate_qos(&model(), &scenario, kind, AdmissionKind::AdmitAll);
+            let off = simulate_deadline(
+                &model(),
+                &scenario,
+                kind,
+                AdmissionKind::AdmitAll,
+                DeadlinePolicy::Off,
+            );
+            assert_eq!(
+                single.to_json_line(),
+                off.to_json_line(),
+                "{} / {:?}: single-device deadline-off path diverged",
+                scenario.name,
+                kind
+            );
+            for &balancer in LoadBalancerKind::all() {
+                let config = FleetConfig::uniform(model(), 3).with_balancer(balancer);
+                let fleet = simulate_fleet_qos(&config, &scenario, kind, AdmissionKind::AdmitAll);
+                let off = simulate_fleet_deadline(
+                    &config,
+                    &scenario,
+                    kind,
+                    AdmissionKind::AdmitAll,
+                    DeadlinePolicy::Off,
+                );
+                assert_eq!(
+                    fleet.to_json_line(),
+                    off.to_json_line(),
+                    "{} / {} / {:?}: fleet deadline-off path diverged",
+                    scenario.name,
+                    balancer.name(),
+                    kind
+                );
+                let parallel = simulate_fleet_deadline_parallel(
+                    &config,
+                    &scenario,
+                    kind,
+                    AdmissionKind::AdmitAll,
+                    DeadlinePolicy::Off,
+                    4,
+                );
+                assert_eq!(
+                    fleet.to_json_line(),
+                    parallel.to_json_line(),
+                    "{} / {} / {:?}: parallel deadline-off path diverged",
+                    scenario.name,
+                    balancer.name(),
+                    kind
+                );
+            }
+        }
+    }
+}
+
+/// The autoscaled entry point joins the off-is-invisible pin, with a real
+/// failure plan and shedding admission in the loop.
+#[test]
+fn autoscaled_deadline_off_matches_the_qos_path() {
+    let scenario = Scenario::b2_failover(2).with_class_mix(ClassMix::telepresence());
+    for &balancer in LoadBalancerKind::all() {
+        let config = FleetConfig::uniform(model(), 2).with_balancer(balancer);
+        let qos = simulate_autoscaled_qos(
+            &config,
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            &Autoscaler::none(),
+            &FailurePlan::scheduled(&[(1_100_000, 1)]),
+            AdmissionKind::QueueThreshold,
+        );
+        let off = simulate_autoscaled_deadline(
+            &config,
+            &scenario,
+            SchedulerKind::PriorityByBranch,
+            &Autoscaler::none(),
+            &FailurePlan::scheduled(&[(1_100_000, 1)]),
+            AdmissionKind::QueueThreshold,
+            DeadlinePolicy::Off,
+        );
+        assert_eq!(
+            qos.to_json_line(),
+            off.to_json_line(),
+            "{}: autoscaled deadline-off path diverged",
+            balancer.name()
+        );
+    }
+}
+
+/// The headline pin: on the oversubscribing burst, EDF dispatch with
+/// expiry culling stops serving dead frames. The run actually expires
+/// work, still balances the five-outcome books, and beats (or ties)
+/// weighted priority on interactive SLO attainment — both outright and
+/// per unit of fabric-busy time, because the fabric seconds weighted
+/// priority spends completing already-dead frames buy no attainment.
+#[test]
+fn deadline_dispatch_stops_serving_dead_frames() {
+    let model = slow_model();
+    let scenario = Scenario::b2_qos();
+    let weighted = simulate_qos(
+        &model,
+        &scenario,
+        SchedulerKind::PriorityByBranch,
+        AdmissionKind::AdmitAll,
+    );
+    let edf = simulate_deadline(
+        &model,
+        &scenario,
+        SchedulerKind::Deadline,
+        AdmissionKind::AdmitAll,
+        DeadlinePolicy::CullExpired,
+    );
+    assert!(edf.conserves_requests(), "five-outcome books unbalanced");
+    assert!(
+        edf.expired > 0,
+        "the burst must strand already-dead frames in queue"
+    );
+    assert_eq!(edf.scheduler, "deadline");
+    let interactive = |r: &ServeReport| {
+        r.class(QosClass::Interactive)
+            .expect("interactive row")
+            .slo_attainment
+    };
+    assert!(
+        interactive(&edf) >= interactive(&weighted),
+        "EDF interactive attainment {} fell below weighted {}",
+        interactive(&edf),
+        interactive(&weighted)
+    );
+    assert!(
+        edf.slo_per_busy_sec >= weighted.slo_per_busy_sec,
+        "EDF attainment per busy-second {} fell below weighted {}",
+        edf.slo_per_busy_sec,
+        weighted.slo_per_busy_sec
+    );
+}
+
+/// Expiry composes with the availability layer: culling, admission
+/// shedding and a mid-burst shard kill in one run still balance the
+/// five-outcome books fleet-wide, per class and per shard.
+#[test]
+fn expiry_composes_with_failure_injection() {
+    let scenario = Scenario::b2_failover(2).with_class_mix(ClassMix::telepresence());
+    for &balancer in LoadBalancerKind::all() {
+        let config = FleetConfig::uniform(slow_model(), 2).with_balancer(balancer);
+        let report = simulate_autoscaled_deadline(
+            &config,
+            &scenario,
+            SchedulerKind::Deadline,
+            &Autoscaler::none(),
+            &FailurePlan::scheduled(&[(1_100_000, 1)]),
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::CullExpired,
+        );
+        assert!(
+            report.conserves_requests(),
+            "{}: books unbalanced under kill + cull",
+            balancer.name()
+        );
+        assert!(
+            report.expired > 0,
+            "{}: the slowed fleet must expire queued work",
+            balancer.name()
+        );
+        assert_eq!(
+            report.expired,
+            report.classes.iter().map(|c| c.expired).sum::<u64>(),
+            "{}: expiry must be attributed to classes",
+            balancer.name()
+        );
+        assert_eq!(
+            report.expired,
+            report.shards.iter().map(|s| s.expired).sum::<u64>(),
+            "{}: expiry must be attributed to shards",
+            balancer.name()
+        );
+    }
+}
+
+/// The parallel shard engine agrees with the sequential one under
+/// culling, for every balancer and worker count — including the
+/// non-decomposable balancers, which must fall back without losing the
+/// deadline policy on the way.
+#[test]
+fn parallel_deadline_culling_matches_sequential() {
+    let scenario = Scenario::b2_qos();
+    for &balancer in LoadBalancerKind::all() {
+        let config = FleetConfig::uniform(slow_model(), 3).with_balancer(balancer);
+        let sequential = simulate_fleet_deadline(
+            &config,
+            &scenario,
+            SchedulerKind::Deadline,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::CullExpired,
+        );
+        for workers in [1usize, 2, 4] {
+            let parallel = simulate_fleet_deadline_parallel(
+                &config,
+                &scenario,
+                SchedulerKind::Deadline,
+                AdmissionKind::AdmitAll,
+                DeadlinePolicy::CullExpired,
+                workers,
+            );
+            assert_eq!(
+                sequential.to_json_line(),
+                parallel.to_json_line(),
+                "{} / {} workers: parallel culling diverged",
+                balancer.name(),
+                workers
+            );
+        }
     }
 }

@@ -53,6 +53,7 @@ fn standard_only_classes(
                 dropped: if hit { dropped } else { 0 },
                 lost: if hit { lost } else { 0 },
                 shed: 0,
+                expired: 0,
                 slo_attainment: if hit { slo_attainment } else { 1.0 },
                 latency: if hit {
                     latency()
@@ -91,6 +92,7 @@ fn report() -> ServeReport {
                 dropped: 5,
                 lost: 0,
                 shed: 0,
+                expired: 0,
                 latency: latency(),
             },
             BranchServeStats {
@@ -101,6 +103,7 @@ fn report() -> ServeReport {
                 dropped: 5,
                 lost: 0,
                 shed: 0,
+                expired: 0,
                 latency: latency(),
             },
         ],
@@ -110,6 +113,7 @@ fn report() -> ServeReport {
                 completed: 55,
                 dropped: 5,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 1.0,
                 latency: latency(),
@@ -119,6 +123,7 @@ fn report() -> ServeReport {
                 completed: 35,
                 dropped: 5,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 0.75,
                 latency: latency(),
@@ -134,6 +139,10 @@ fn report() -> ServeReport {
         admission: "admit_all".into(),
         slo_attainment: 0.9,
         classes: standard_only_classes(100, 90, 10, 0, 0.9),
+        expired: 0,
+        // 0.875 utilization across two shards over the 2.5 s makespan.
+        fabric_busy_us: 4_375_000,
+        slo_per_busy_sec: 0.9 / 4.375,
         trace_summary: None,
     }
 }
@@ -169,6 +178,7 @@ fn autoscaled_report() -> ServeReport {
                 dropped: 3,
                 lost: 4,
                 shed: 0,
+                expired: 0,
                 latency: latency(),
             },
             BranchServeStats {
@@ -179,6 +189,7 @@ fn autoscaled_report() -> ServeReport {
                 dropped: 1,
                 lost: 6,
                 shed: 0,
+                expired: 0,
                 latency: latency(),
             },
         ],
@@ -188,6 +199,7 @@ fn autoscaled_report() -> ServeReport {
                 completed: 53,
                 dropped: 1,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 1.0,
                 latency: latency(),
@@ -197,6 +209,7 @@ fn autoscaled_report() -> ServeReport {
                 completed: 33,
                 dropped: 3,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Failed,
                 utilization: 0.75,
                 latency: latency(),
@@ -206,6 +219,7 @@ fn autoscaled_report() -> ServeReport {
                 completed: 0,
                 dropped: 0,
                 shed: 0,
+                expired: 0,
                 state: ShardState::Warming,
                 utilization: 0.0,
                 latency: LatencySummary::default(),
@@ -246,6 +260,11 @@ fn autoscaled_report() -> ServeReport {
         admission: "admit_all".into(),
         slo_attainment: 0.75,
         classes: standard_only_classes(100, 86, 4, 10, 0.75),
+        expired: 0,
+        // Shards 0 and 1 at 1.0 / 0.75 utilization over 2.5 s, shard 2
+        // still warming and never busy.
+        fabric_busy_us: 4_375_000,
+        slo_per_busy_sec: 0.75 / 4.375,
         trace_summary: None,
     }
 }
@@ -280,6 +299,7 @@ fn qos_report() -> ServeReport {
                 dropped: 1,
                 lost: 0,
                 shed: 7,
+                expired: 0,
                 latency: latency(),
             },
             BranchServeStats {
@@ -290,6 +310,7 @@ fn qos_report() -> ServeReport {
                 dropped: 1,
                 lost: 0,
                 shed: 11,
+                expired: 0,
                 latency: latency(),
             },
         ],
@@ -299,6 +320,7 @@ fn qos_report() -> ServeReport {
                 completed: 60,
                 dropped: 1,
                 shed: 9,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 1.0,
                 latency: latency(),
@@ -308,6 +330,7 @@ fn qos_report() -> ServeReport {
                 completed: 40,
                 dropped: 1,
                 shed: 9,
+                expired: 0,
                 state: ShardState::Active,
                 utilization: 0.8,
                 latency: latency(),
@@ -332,6 +355,7 @@ fn qos_report() -> ServeReport {
                 dropped: 0,
                 lost: 0,
                 shed: 2,
+                expired: 0,
                 slo_attainment: 1.0,
                 latency: LatencySummary {
                     p50_ms: 8.0,
@@ -350,6 +374,7 @@ fn qos_report() -> ServeReport {
                 dropped: 2,
                 lost: 0,
                 shed: 2,
+                expired: 0,
                 slo_attainment: 0.9565,
                 latency: latency(),
             },
@@ -362,6 +387,7 @@ fn qos_report() -> ServeReport {
                 dropped: 0,
                 lost: 0,
                 shed: 14,
+                expired: 0,
                 slo_attainment: 0.75,
                 latency: LatencySummary {
                     p50_ms: 420.0,
@@ -372,6 +398,10 @@ fn qos_report() -> ServeReport {
                 },
             },
         ],
+        expired: 0,
+        // 1.0 + 0.8 shard utilization over the 2.5 s makespan.
+        fabric_busy_us: 4_500_000,
+        slo_per_busy_sec: 0.88 / 4.5,
         trace_summary: None,
     }
 }
@@ -384,28 +414,30 @@ const GOLDEN: &str = concat!(
     "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
     "\"max_ms\":96.5000,\"branches\":[{\"name\":\"geometry\",\"priority\":1.0000,",
     "\"issued\":50,\"completed\":45,\"dropped\":5,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,\"shed\":0},{\"name\":\"warp\",",
-    "\"priority\":0.1500,\"issued\":50,\"completed\":45,\"dropped\":5,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,",
-    "\"shed\":0}],\"shards\":[{\"issued\":60,\"completed\":55,\"dropped\":5,",
-    "\"utilization\":1.0000,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
-    "\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0},{\"issued\":40,",
-    "\"completed\":35,\"dropped\":5,\"utilization\":0.7500,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0}],",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,\"shed\":0,\"expired\":0},",
+    "{\"name\":\"warp\",\"priority\":0.1500,\"issued\":50,\"completed\":45,",
+    "\"dropped\":5,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":0,\"shed\":0,\"expired\":0}],\"shards\":[{\"issued\":60,",
+    "\"completed\":55,\"dropped\":5,\"utilization\":1.0000,\"p50_ms\":12.0000,",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0,",
+    "\"expired\":0},{\"issued\":40,\"completed\":35,\"dropped\":5,",
+    "\"utilization\":0.7500,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
+    "\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0,\"expired\":0}],",
     "\"replaced\":0,\"lost\":0,\"availability\":0.9000,",
     "\"pre_failure_p99_ms\":0.0000,\"post_failure_p99_ms\":0.0000,",
     "\"scale_events\":[],\"shed\":0,\"admission\":\"admit_all\",",
     "\"slo_attainment\":0.9000,\"classes\":[{\"class\":\"interactive\",",
     "\"budget_ms\":100.0000,\"weight\":4.0000,\"issued\":0,\"completed\":0,",
     "\"dropped\":0,\"lost\":0,\"shed\":0,\"slo_attainment\":1.0000,\"p50_ms\":0.0000,",
-    "\"p99_ms\":0.0000,\"max_ms\":0.0000},{\"class\":\"standard\",",
+    "\"p99_ms\":0.0000,\"max_ms\":0.0000,\"expired\":0},{\"class\":\"standard\",",
     "\"budget_ms\":400.0000,\"weight\":1.0000,\"issued\":100,\"completed\":90,",
     "\"dropped\":10,\"lost\":0,\"shed\":0,\"slo_attainment\":0.9000,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"expired\":0},",
     "{\"class\":\"best_effort\",\"budget_ms\":2000.0000,\"weight\":0.2500,",
     "\"issued\":0,\"completed\":0,\"dropped\":0,\"lost\":0,\"shed\":0,",
     "\"slo_attainment\":1.0000,\"p50_ms\":0.0000,\"p99_ms\":0.0000,",
-    "\"max_ms\":0.0000}]}",
+    "\"max_ms\":0.0000,\"expired\":0}],\"expired\":0,\"fabric_busy_us\":4375000,",
+    "\"slo_per_busy_sec\":0.2057}",
 );
 
 const GOLDEN_AUTOSCALED: &str = concat!(
@@ -416,17 +448,18 @@ const GOLDEN_AUTOSCALED: &str = concat!(
     "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
     "\"max_ms\":96.5000,\"branches\":[{\"name\":\"geometry\",\"priority\":1.0000,",
     "\"issued\":50,\"completed\":43,\"dropped\":3,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":4,\"shed\":0},{\"name\":\"warp\",",
-    "\"priority\":0.1500,\"issued\":50,\"completed\":43,\"dropped\":1,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":6,",
-    "\"shed\":0}],\"shards\":[{\"issued\":54,\"completed\":53,\"dropped\":1,",
-    "\"utilization\":1.0000,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
-    "\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0},{\"issued\":36,",
-    "\"completed\":33,\"dropped\":3,\"utilization\":0.7500,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"failed\",\"shed\":0},",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":4,\"shed\":0,\"expired\":0},",
+    "{\"name\":\"warp\",\"priority\":0.1500,\"issued\":50,\"completed\":43,",
+    "\"dropped\":1,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":6,\"shed\":0,\"expired\":0}],\"shards\":[{\"issued\":54,",
+    "\"completed\":53,\"dropped\":1,\"utilization\":1.0000,\"p50_ms\":12.0000,",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\",\"shed\":0,",
+    "\"expired\":0},{\"issued\":36,\"completed\":33,\"dropped\":3,",
+    "\"utilization\":0.7500,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
+    "\"max_ms\":96.5000,\"state\":\"failed\",\"shed\":0,\"expired\":0},",
     "{\"issued\":0,\"completed\":0,\"dropped\":0,\"utilization\":0.0000,",
     "\"p50_ms\":0.0000,\"p99_ms\":0.0000,\"max_ms\":0.0000,\"state\":\"warming\",",
-    "\"shed\":0}],\"replaced\":9,\"lost\":10,\"availability\":0.8600,",
+    "\"shed\":0,\"expired\":0}],\"replaced\":9,\"lost\":10,\"availability\":0.8600,",
     "\"pre_failure_p99_ms\":48.0000,\"post_failure_p99_ms\":64.0000,",
     "\"scale_events\":[{\"at_sec\":1.5000,\"kind\":\"fail\",\"shard\":1,",
     "\"active_after\":1},{\"at_sec\":1.5000,\"kind\":\"up\",\"shard\":2,",
@@ -435,14 +468,15 @@ const GOLDEN_AUTOSCALED: &str = concat!(
     "\"slo_attainment\":0.7500,\"classes\":[{\"class\":\"interactive\",",
     "\"budget_ms\":100.0000,\"weight\":4.0000,\"issued\":0,\"completed\":0,",
     "\"dropped\":0,\"lost\":0,\"shed\":0,\"slo_attainment\":1.0000,\"p50_ms\":0.0000,",
-    "\"p99_ms\":0.0000,\"max_ms\":0.0000},{\"class\":\"standard\",",
+    "\"p99_ms\":0.0000,\"max_ms\":0.0000,\"expired\":0},{\"class\":\"standard\",",
     "\"budget_ms\":400.0000,\"weight\":1.0000,\"issued\":100,\"completed\":86,",
     "\"dropped\":4,\"lost\":10,\"shed\":0,\"slo_attainment\":0.7500,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"expired\":0},",
     "{\"class\":\"best_effort\",\"budget_ms\":2000.0000,\"weight\":0.2500,",
     "\"issued\":0,\"completed\":0,\"dropped\":0,\"lost\":0,\"shed\":0,",
     "\"slo_attainment\":1.0000,\"p50_ms\":0.0000,\"p99_ms\":0.0000,",
-    "\"max_ms\":0.0000}]}",
+    "\"max_ms\":0.0000,\"expired\":0}],\"expired\":0,\"fabric_busy_us\":4375000,",
+    "\"slo_per_busy_sec\":0.1714}",
 );
 
 const GOLDEN_QOS: &str = concat!(
@@ -453,28 +487,30 @@ const GOLDEN_QOS: &str = concat!(
     "\"p50_ms\":12.0000,\"p95_ms\":40.0000,\"p99_ms\":64.0000,\"mean_ms\":18.2500,",
     "\"max_ms\":96.5000,\"branches\":[{\"name\":\"geometry\",\"priority\":1.0000,",
     "\"issued\":60,\"completed\":52,\"dropped\":1,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,\"shed\":7},{\"name\":\"warp\",",
-    "\"priority\":1.0000,\"issued\":60,\"completed\":48,\"dropped\":1,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,",
-    "\"shed\":11}],\"shards\":[{\"issued\":70,\"completed\":60,\"dropped\":1,",
-    "\"utilization\":1.0000,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
-    "\"max_ms\":96.5000,\"state\":\"active\",\"shed\":9},{\"issued\":50,",
-    "\"completed\":40,\"dropped\":1,\"utilization\":0.8000,\"p50_ms\":12.0000,",
-    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\",\"shed\":9}],",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"lost\":0,\"shed\":7,\"expired\":0},",
+    "{\"name\":\"warp\",\"priority\":1.0000,\"issued\":60,\"completed\":48,",
+    "\"dropped\":1,\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,",
+    "\"lost\":0,\"shed\":11,\"expired\":0}],\"shards\":[{\"issued\":70,",
+    "\"completed\":60,\"dropped\":1,\"utilization\":1.0000,\"p50_ms\":12.0000,",
+    "\"p99_ms\":64.0000,\"max_ms\":96.5000,\"state\":\"active\",\"shed\":9,",
+    "\"expired\":0},{\"issued\":50,\"completed\":40,\"dropped\":1,",
+    "\"utilization\":0.8000,\"p50_ms\":12.0000,\"p99_ms\":64.0000,",
+    "\"max_ms\":96.5000,\"state\":\"active\",\"shed\":9,\"expired\":0}],",
     "\"replaced\":0,\"lost\":0,\"availability\":0.8333,",
     "\"pre_failure_p99_ms\":0.0000,\"post_failure_p99_ms\":0.0000,",
     "\"scale_events\":[],\"shed\":18,\"admission\":\"budget_aware\",",
     "\"slo_attainment\":0.8800,\"classes\":[{\"class\":\"interactive\",",
     "\"budget_ms\":100.0000,\"weight\":4.0000,\"issued\":40,\"completed\":38,",
     "\"dropped\":0,\"lost\":0,\"shed\":2,\"slo_attainment\":1.0000,\"p50_ms\":8.0000,",
-    "\"p99_ms\":28.0000,\"max_ms\":44.0000},{\"class\":\"standard\",",
+    "\"p99_ms\":28.0000,\"max_ms\":44.0000,\"expired\":0},{\"class\":\"standard\",",
     "\"budget_ms\":400.0000,\"weight\":1.0000,\"issued\":50,\"completed\":46,",
     "\"dropped\":2,\"lost\":0,\"shed\":2,\"slo_attainment\":0.9565,",
-    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000},",
+    "\"p50_ms\":12.0000,\"p99_ms\":64.0000,\"max_ms\":96.5000,\"expired\":0},",
     "{\"class\":\"best_effort\",\"budget_ms\":2000.0000,\"weight\":0.2500,",
     "\"issued\":30,\"completed\":16,\"dropped\":0,\"lost\":0,\"shed\":14,",
     "\"slo_attainment\":0.7500,\"p50_ms\":420.0000,\"p99_ms\":1810.0000,",
-    "\"max_ms\":2300.0000}]}",
+    "\"max_ms\":2300.0000,\"expired\":0}],\"expired\":0,",
+    "\"fabric_busy_us\":4500000,\"slo_per_busy_sec\":0.1956}",
 );
 
 #[test]
@@ -557,7 +593,7 @@ fn assert_key_order(line: &str, keys: &[&str]) {
     }
 }
 
-const TOP_LEVEL_KEYS: [&str; 30] = [
+const TOP_LEVEL_KEYS: [&str; 33] = [
     "\"scenario\":",
     "\"scheduler\":",
     "\"balancer\":",
@@ -588,6 +624,9 @@ const TOP_LEVEL_KEYS: [&str; 30] = [
     "\"admission\":",
     "\"slo_attainment\":",
     "\"classes\":[",
+    "\"expired\":",
+    "\"fabric_busy_us\":",
+    "\"slo_per_busy_sec\":",
 ];
 
 fn one_branch_model() -> ServiceModel {

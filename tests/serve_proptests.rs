@@ -1,11 +1,13 @@
 //! Property-based tests of the serving simulator: bit-exact determinism for
 //! a fixed seed, request conservation across randomized scenario
-//! parameters (including tiny queues that force drops), and the QoS
+//! parameters (including tiny queues that force drops), the QoS
 //! extension of both — per-class conservation with the `shed` outcome and
 //! bit-identical per-class statistics under every admission policy and
-//! class mix.
+//! class mix — and the deadline extension of *those*: five-outcome
+//! conservation with `expired` under queue-time culling, and the
+//! invisibility of `DeadlinePolicy::Off`.
 
-use fcad_serve::{simulate, simulate_qos, ArrivalPattern};
+use fcad_serve::{simulate, simulate_deadline, simulate_qos, ArrivalPattern, DeadlinePolicy};
 use proptest::prelude::*;
 
 mod common;
@@ -109,6 +111,74 @@ proptest! {
             prop_assert!(class.latency.p99_ms >= class.latency.p50_ms);
         }
         prop_assert!((0.0..=1.0).contains(&report.slo_attainment));
+    }
+
+    /// The fifth outcome balances the books: with expiry culling on,
+    /// completed + dropped + lost + shed + expired == issued in total and
+    /// per class, and the expired rows partition the fleet counter across
+    /// classes, branches and shards — under every discipline, admission
+    /// policy, class mix and arrival pattern.
+    #[test]
+    fn expiry_culling_conserves_the_fifth_outcome(
+        seed in 0u64..10_000,
+        sessions in 1usize..8,
+        rate in 5usize..60,
+        capacity in 4usize..64,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        admission in admission_strategy(),
+        mix in class_mix_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival).with_class_mix(mix);
+        let report = simulate_deadline(
+            &model(),
+            &scenario,
+            kind,
+            admission,
+            DeadlinePolicy::CullExpired,
+        );
+        prop_assert!(report.conserves_requests());
+        prop_assert_eq!(
+            report.expired,
+            report.classes.iter().map(|c| c.expired).sum::<u64>()
+        );
+        prop_assert_eq!(
+            report.expired,
+            report.branches.iter().map(|b| b.expired).sum::<u64>()
+        );
+        prop_assert_eq!(
+            report.expired,
+            report.shards.iter().map(|s| s.expired).sum::<u64>()
+        );
+        for class in &report.classes {
+            prop_assert!(
+                class.completed + class.dropped + class.lost + class.shed + class.expired
+                    == class.issued
+            );
+            prop_assert!((0.0..=1.0).contains(&class.slo_attainment));
+        }
+        prop_assert!((0.0..=1.0).contains(&report.slo_attainment));
+        prop_assert!(report.slo_per_busy_sec >= 0.0);
+    }
+
+    /// `DeadlinePolicy::Off` is invisible under fuzzing too: the deadline
+    /// entry point with culling off is bit-identical to the QoS path for
+    /// random scenarios, disciplines, admissions and mixes.
+    #[test]
+    fn deadline_off_is_invisible_under_fuzzing(
+        seed in 0u64..10_000,
+        sessions in 1usize..6,
+        rate in 5usize..40,
+        capacity in 8usize..64,
+        arrival in pattern_strategy(),
+        kind in scheduler_strategy(),
+        admission in admission_strategy(),
+        mix in class_mix_strategy(),
+    ) {
+        let scenario = scenario(seed, sessions, rate, capacity, arrival).with_class_mix(mix);
+        let qos = simulate_qos(&model(), &scenario, kind, admission);
+        let off = simulate_deadline(&model(), &scenario, kind, admission, DeadlinePolicy::Off);
+        prop_assert_eq!(qos, off);
     }
 
     /// Different seeds shift stochastic arrivals (the RNG is actually
