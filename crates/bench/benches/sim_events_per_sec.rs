@@ -10,8 +10,10 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fcad_serve::{
-    reference, simulate_fleet, simulate_fleet_deadline, simulate_fleet_parallel, AdmissionKind,
-    BranchService, DeadlinePolicy, FleetConfig, Scenario, SchedulerKind, ServeReport, ServiceModel,
+    reference, simulate_autoscaled_deadline, simulate_fleet, simulate_fleet_deadline,
+    simulate_fleet_parallel, simulate_windowed, AdmissionKind, Autoscaler, BranchService,
+    DeadlinePolicy, FailurePlan, FleetConfig, Scenario, SchedulerKind, ServeReport, ServiceModel,
+    WindowPlan,
 };
 
 const SHARDS: usize = 64;
@@ -161,6 +163,79 @@ fn bench(c: &mut Criterion) {
     print_comparison("metropolis_100k", events, ref_sec, "parallel8", par_sec);
     c.bench_function("sim_events/metropolis_100k/parallel8", |b| {
         b.iter(|| simulate_fleet_parallel(&config, &metropolis, kind, PARALLEL_WORKERS))
+    });
+
+    // The windowed cell: a *coupled* metropolis — the fleet scales from
+    // 192 toward 256 shards under queue pressure (those spans run
+    // sequentially), then the terminal phase executes in parallel
+    // windows. All three engines are byte-identical; the windowed run at
+    // 8 workers must clear 2× over the sequential coupled engine (the
+    // floor `perf_trajectory` pins in BENCH_serve.json).
+    let policy = Autoscaler::reactive(192, 256)
+        .with_cooldown_us(0)
+        .with_idle_retire_us(0);
+    let config = FleetConfig::uniform(model.clone(), 192);
+    let none = FailurePlan::none();
+    let (ref_sec, ref_report) = timed(|| {
+        reference::simulate_autoscaled_qos(
+            &config,
+            &metropolis,
+            kind,
+            &policy,
+            &none,
+            AdmissionKind::AdmitAll,
+        )
+    });
+    let (seq_sec, seq_report) = timed(|| {
+        simulate_autoscaled_deadline(
+            &config,
+            &metropolis,
+            kind,
+            &policy,
+            &none,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::Off,
+        )
+    });
+    let plan = WindowPlan::new(PARALLEL_WORKERS).with_window_us(400_000);
+    let (win_sec, win_report) = timed(|| {
+        simulate_windowed(
+            &config,
+            &metropolis,
+            kind,
+            &policy,
+            &none,
+            AdmissionKind::AdmitAll,
+            DeadlinePolicy::Off,
+            &plan,
+        )
+    });
+    assert_eq!(ref_report.to_json_line(), seq_report.to_json_line());
+    assert_eq!(ref_report.to_json_line(), win_report.to_json_line());
+    assert!(
+        seq_sec / win_sec >= 2.0,
+        "windowed8 must clear 2x over the sequential coupled engine \
+         (got {:.2}x)",
+        seq_sec / win_sec
+    );
+    let events = sim_events(&ref_report);
+    let cell = "metropolis_100k_autoscaled";
+    print_comparison(cell, events, ref_sec, "reference", ref_sec);
+    print_comparison(cell, events, ref_sec, "rebuilt", seq_sec);
+    print_comparison(cell, events, ref_sec, "windowed8", win_sec);
+    c.bench_function("sim_events/metropolis_100k_autoscaled/windowed8", |b| {
+        b.iter(|| {
+            simulate_windowed(
+                &config,
+                &metropolis,
+                kind,
+                &policy,
+                &none,
+                AdmissionKind::AdmitAll,
+                DeadlinePolicy::Off,
+                &plan,
+            )
+        })
     });
 }
 

@@ -11,9 +11,9 @@ use crate::flow::FcadResult;
 use fcad_cyclesim::Simulator;
 use fcad_serve::{
     simulate, simulate_autoscaled, simulate_autoscaled_qos, simulate_deadline, simulate_fleet,
-    simulate_fleet_qos, simulate_qos, simulate_traced, AdmissionKind, Autoscaler, DeadlinePolicy,
-    FailurePlan, FleetConfig, LoadBalancerKind, Scenario, SchedulerKind, ServeReport, ServiceModel,
-    TraceSink,
+    simulate_fleet_qos, simulate_qos, simulate_traced, simulate_windowed, AdmissionKind,
+    Autoscaler, DeadlinePolicy, FailurePlan, FleetConfig, LoadBalancerKind, Scenario,
+    SchedulerKind, ServeReport, ServiceModel, TraceSink, WindowPlan,
 };
 
 impl FcadResult {
@@ -212,6 +212,35 @@ impl FcadResult {
             policy,
             failures,
             admission,
+        )
+    }
+
+    /// [`FcadResult::serve_qos_autoscaled`] executed by the
+    /// time-windowed parallel engine on `workers` threads. The report is
+    /// byte-identical to the sequential run at every worker count;
+    /// `workers <= 1`, one-shard fleets and load-aware balancers run the
+    /// sequential engine directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_windowed(
+        &self,
+        scenario: &Scenario,
+        shards: usize,
+        balancer: LoadBalancerKind,
+        kind: SchedulerKind,
+        policy: &Autoscaler,
+        failures: &FailurePlan,
+        admission: AdmissionKind,
+        workers: usize,
+    ) -> ServeReport {
+        simulate_windowed(
+            &self.fleet_config(shards).with_balancer(balancer),
+            scenario,
+            kind,
+            policy,
+            failures,
+            admission,
+            DeadlinePolicy::Off,
+            &WindowPlan::new(workers).with_window_us(400_000),
         )
     }
 

@@ -148,6 +148,19 @@ impl<T> Calendar<T> {
             .map(|Reverse(entry)| (entry.key, entry.payload))
     }
 
+    /// The earliest `at_us` among pending entries in `lane`, if any — an
+    /// O(n) scan over the heap's backing storage. The windowed parallel
+    /// engine calls this once per window to find the next lifecycle
+    /// coupling point; lifecycle entries are never lazily invalidated, so
+    /// the answer needs no epoch filtering for [`LANE_LIFECYCLE`].
+    pub fn earliest_in_lane(&self, lane: u8) -> Option<u64> {
+        self.heap
+            .iter()
+            .filter(|Reverse(entry)| entry.key.lane == lane)
+            .map(|Reverse(entry)| entry.key.at_us)
+            .min()
+    }
+
     /// Number of pending entries (including any lazily-invalidated ones
     /// the caller has yet to discard).
     pub fn len(&self) -> usize {

@@ -330,7 +330,7 @@ pub fn simulate_traced(
 /// failures before drains before warm-ups before idle checks at the same
 /// instant, insertion order as the final tie-break — all deterministic
 /// and identical to the frozen loop's `(at_us, rank, seq)` linear scan.
-enum Action {
+pub(crate) enum Action {
     Fail(KillTarget),
     Drain,
     Warm,
@@ -351,7 +351,7 @@ impl Action {
 /// A calendar payload: a lifecycle action against a shard, or a shard's
 /// pending dispatch completion (validated against the shard's epoch at
 /// pop time).
-enum CalEvent {
+pub(crate) enum CalEvent {
     Life { shard: usize, action: Action },
     Dispatch { shard: usize },
 }
@@ -490,7 +490,11 @@ impl<'a> Shard<'a> {
 /// dispatch completion, enqueue into an empty queue, orphan re-placement
 /// (the repay fill moves `free_at_us` even with a non-empty queue),
 /// failure drain, and warm-up completion.
-fn refresh_dispatch(calendar: &mut Calendar<CalEvent>, shards: &mut [Shard], shard: usize) {
+pub(crate) fn refresh_dispatch(
+    calendar: &mut Calendar<CalEvent>,
+    shards: &mut [Shard],
+    shard: usize,
+) {
     let s = &mut shards[shard];
     s.dispatch_epoch += 1;
     if s.phase.dispatches() && s.scheduler.queued() > 0 {
@@ -515,6 +519,803 @@ fn alive_count(shards: &[Shard]) -> usize {
     shards.iter().filter(|s| s.phase.is_alive()).count()
 }
 
+/// The steppable core of the sequential engine: every local of the old
+/// monolithic `run()` loop, promoted to a field so the loop body can be
+/// driven one event at a time.
+///
+/// [`run`] is `new` + `while step()` + `finish`, bit-identical to the old
+/// single-function loop. The windowed parallel engine
+/// ([`crate::window`]) drives the same core differently: sequential
+/// `step()` calls through every *coupled* span (lifecycle events,
+/// load-aware placements, armed autoscale triggers) and parallel window
+/// fan-outs over the decoupled spans in between.
+pub(crate) struct EngineCore<'a, 'b> {
+    pub(crate) scenario: &'b Scenario,
+    pub(crate) balancer_kind: LoadBalancerKind,
+    pub(crate) spawn: Option<SchedulerKind>,
+    pub(crate) policy: &'b Autoscaler,
+    pub(crate) failures: &'b FailurePlan,
+    pub(crate) admission: &'b mut dyn AdmissionController,
+    pub(crate) deadline: DeadlinePolicy,
+    pub(crate) sink: &'b mut dyn TraceSink,
+    pub(crate) tracing: bool,
+    pub(crate) arrivals: Vec<Request>,
+    pub(crate) next_arrival: usize,
+    pub(crate) shards: Vec<Shard<'a>>,
+    pub(crate) balancer: Balancer,
+    pub(crate) capacity: usize,
+    pub(crate) calendar: Calendar<CalEvent>,
+    pub(crate) life_seq: u64,
+    pub(crate) split_us: Option<u64>,
+    pub(crate) last_scale_up: Option<u64>,
+    pub(crate) recent_latencies: VecDeque<u64>,
+    /// Requests sitting in shard queues, fleet-wide: the O(1) termination
+    /// check (the frozen loop re-summed every shard per iteration).
+    pub(crate) queued_total: usize,
+    pub(crate) loads: Vec<(usize, ShardLoad)>,
+    /// Load-oblivious placement fast path: round-robin and branch-sharded
+    /// placement are pure cursor arithmetic over the *placeable-id
+    /// snapshot* — no per-arrival placeable scan. The snapshot is
+    /// piecewise static: any lifecycle event or spawn marks it dirty and
+    /// the next arrival rebuilds it, so placement stays O(1) through the
+    /// static segments *between* scale actions, not just before the first
+    /// one.
+    pub(crate) dense: bool,
+    pub(crate) placeable_ids: Vec<usize>,
+    pub(crate) placeable_dirty: bool,
+    pub(crate) tally: Tally,
+}
+
+impl<'a, 'b> EngineCore<'a, 'b> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        config: &'b FleetConfig,
+        scenario: &'b Scenario,
+        schedulers: Vec<Box<dyn Scheduler + 'a>>,
+        spawn: Option<SchedulerKind>,
+        policy: &'b Autoscaler,
+        failures: &'b FailurePlan,
+        admission: &'b mut dyn AdmissionController,
+        deadline: DeadlinePolicy,
+        sink: &'b mut dyn TraceSink,
+    ) -> Self {
+        config.assert_valid();
+        assert_eq!(
+            schedulers.len(),
+            config.shard_count(),
+            "one scheduler per shard ({} shards, {} schedulers)",
+            config.shard_count(),
+            schedulers.len()
+        );
+        let branch_count = config.branch_count();
+        let arrivals = scenario.generate(branch_count);
+        let mut balancer = Balancer::new(config.balancer);
+        balancer.reserve_sessions(scenario.sessions);
+        let capacity = scenario.queue_capacity;
+        let tracing = sink.enabled();
+
+        let mut shards: Vec<Shard<'a>> = config
+            .shards
+            .iter()
+            .zip(schedulers)
+            .map(|(model, scheduler)| {
+                let model = match &scenario.priorities {
+                    Some(priorities) => model.clone().with_priorities(priorities),
+                    None => model.clone(),
+                };
+                Shard::new(model, scheduler, ShardState::Active)
+            })
+            .collect();
+
+        let mut tally = Tally::new(branch_count);
+        tally.count_arrivals(&arrivals);
+
+        let mut calendar: Calendar<CalEvent> = Calendar::new();
+        let mut life_seq = 0u64;
+        for kill in failures.kills() {
+            let shard = match kill.target {
+                KillTarget::Shard(s) => s,
+                KillTarget::Seeded(_) => usize::MAX, // resolved at fire time
+            };
+            push_life(
+                &mut calendar,
+                &mut life_seq,
+                kill.at_us,
+                shard,
+                Action::Fail(kill.target),
+            );
+        }
+        for &(at_us, shard) in &policy.drains {
+            push_life(&mut calendar, &mut life_seq, at_us, shard, Action::Drain);
+        }
+        if policy.idle_retire_us > 0 {
+            for (index, shard) in shards.iter_mut().enumerate() {
+                shard.idle_check_pending = true;
+                push_life(
+                    &mut calendar,
+                    &mut life_seq,
+                    policy.idle_retire_us,
+                    index,
+                    Action::IdleCheck,
+                );
+            }
+        }
+        let split_us = failures.first_kill_us();
+        let shard_count = shards.len();
+
+        Self {
+            scenario,
+            balancer_kind: config.balancer,
+            spawn,
+            policy,
+            failures,
+            admission,
+            deadline,
+            sink,
+            tracing,
+            arrivals,
+            next_arrival: 0,
+            shards,
+            balancer,
+            capacity,
+            calendar,
+            life_seq,
+            split_us,
+            last_scale_up: None,
+            recent_latencies: VecDeque::with_capacity(P99_WINDOW),
+            queued_total: 0,
+            loads: Vec::with_capacity(shard_count),
+            dense: matches!(
+                config.balancer,
+                LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
+            ),
+            placeable_ids: (0..shard_count).collect(),
+            placeable_dirty: false,
+            tally,
+        }
+    }
+
+    /// Rebuilds the placeable-id snapshot after a lifecycle event: the
+    /// active shards' global ids in ascending order, or — only when none
+    /// is active — the warming ones, exactly the candidate set
+    /// [`collect_placeable`] hands the general path.
+    pub(crate) fn rebuild_placeable(&mut self) {
+        for wanted in [ShardState::Active, ShardState::Warming] {
+            self.placeable_ids.clear();
+            self.placeable_ids.extend(
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.phase == wanted)
+                    .map(|(index, _)| index),
+            );
+            if !self.placeable_ids.is_empty() {
+                break;
+            }
+        }
+        self.placeable_dirty = false;
+    }
+
+    /// Processes the single earliest pending event. Returns `false` when
+    /// the run is complete (no arrival pending and no request queued) —
+    /// the old loop's termination condition, verbatim.
+    pub(crate) fn step(&mut self) -> bool {
+        let due_arrival = self.arrivals.get(self.next_arrival).copied();
+        if due_arrival.is_none() && self.queued_total == 0 {
+            return false;
+        }
+        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
+        // Surface the earliest *live* calendar entry, discarding stale
+        // dispatch entries (superseded epochs) lazily.
+        let front = loop {
+            match self.calendar.peek_key() {
+                Some(key)
+                    if key.lane == LANE_DISPATCH
+                        && key.b != self.shards[u64_to_usize(key.a)].dispatch_epoch =>
+                {
+                    self.calendar.pop();
+                }
+                other => break other,
+            }
+        };
+        let take_calendar =
+            front.is_some_and(|key| (key.at_us, key.lane) < (arrival_at, LANE_ARRIVAL));
+        if !take_calendar && due_arrival.is_none() {
+            debug_assert!(false, "stranded queued work with no pending event");
+            return false;
+        }
+
+        if take_calendar {
+            let (key, event) = self.calendar.pop().expect("calendar front was just peeked");
+            let now_us = key.at_us;
+            match event {
+                CalEvent::Life {
+                    shard: life_shard,
+                    action,
+                } => self.life_event(now_us, life_shard, action),
+                CalEvent::Dispatch { shard } => self.dispatch_event(now_us, shard),
+            }
+        } else {
+            let request = due_arrival.expect("arrival_at is finite");
+            self.next_arrival += 1;
+            self.arrival_event(request);
+        }
+        true
+    }
+
+    fn life_event(&mut self, now_us: u64, life_shard: usize, action: Action) {
+        self.placeable_dirty = true;
+        match action {
+            Action::Fail(target) => {
+                let victim = match target {
+                    KillTarget::Shard(s)
+                        if s < self.shards.len() && self.shards[s].phase.is_alive() =>
+                    {
+                        Some(s)
+                    }
+                    KillTarget::Shard(_) => None,
+                    KillTarget::Seeded(hash) => {
+                        let actives: Vec<usize> = (0..self.shards.len())
+                            .filter(|&s| self.shards[s].phase == ShardState::Active)
+                            .collect();
+                        if actives.is_empty() {
+                            None
+                        } else {
+                            Some(actives[u64_to_usize(hash % usize_to_u64(actives.len()))])
+                        }
+                    }
+                };
+                let Some(victim) = victim else { return };
+                self.shards[victim].phase = ShardState::Failed;
+                record(
+                    &mut self.tally.scale_events,
+                    &self.shards,
+                    now_us,
+                    ScaleEventKind::Fail,
+                    victim,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+                let mut orphans: Vec<Request> = Vec::new();
+                {
+                    let dead = &mut self.shards[victim];
+                    while dead.scheduler.queued() > 0 {
+                        let batch = dead.scheduler.next_batch(&dead.model, now_us, &[]);
+                        debug_assert!(!batch.is_empty(), "scheduler returned an empty batch");
+                        orphans.extend(batch);
+                    }
+                    dead.backlog_us = 0;
+                    dead.class_backlog_us = [0; CLASS_COUNT];
+                    dead.pending_since_us = 0;
+                    dead.issued -= usize_to_u64(orphans.len());
+                }
+                self.queued_total -= orphans.len();
+                refresh_dispatch(&mut self.calendar, &mut self.shards, victim);
+                if let Some(kind) = self.spawn {
+                    while alive_count(&self.shards) < self.policy.min_shards
+                        && alive_count(&self.shards) < self.policy.max_shards
+                    {
+                        do_spawn(
+                            now_us,
+                            kind,
+                            self.policy,
+                            &mut self.shards,
+                            &mut self.calendar,
+                            &mut self.life_seq,
+                            &mut self.tally.scale_events,
+                            &mut *self.sink,
+                            self.tracing,
+                        );
+                        self.last_scale_up = Some(now_us);
+                    }
+                }
+                for request in orphans {
+                    collect_placeable(&mut self.loads, &self.shards);
+                    if self.loads.is_empty() {
+                        self.tally.lost[request.branch] += 1;
+                        self.tally.class_lost[request.class.index()] += 1;
+                        if self.tracing {
+                            self.sink.record(request.trace(
+                                now_us,
+                                None,
+                                RequestEventKind::Lost { orphaned: true },
+                            ));
+                        }
+                        continue;
+                    }
+                    let dst = self
+                        .balancer
+                        .place(&request, &self.loads, now_us, self.capacity);
+                    if self.shards[dst].scheduler.queued() >= self.capacity {
+                        self.tally.lost[request.branch] += 1;
+                        self.tally.class_lost[request.class.index()] += 1;
+                        if self.tracing {
+                            self.sink.record(request.trace(
+                                now_us,
+                                None,
+                                RequestEventKind::Lost { orphaned: true },
+                            ));
+                        }
+                        continue;
+                    }
+                    {
+                        let target = &mut self.shards[dst];
+                        if target.scheduler.queued() == 0 {
+                            target.pending_since_us = now_us;
+                        }
+                        if self.failures.repay_fill() && target.phase != ShardState::Warming {
+                            let fill = target.model.branches[request.branch].fill_time_us;
+                            target.free_at_us = target.free_at_us.max(now_us) + fill;
+                            target.busy_us += fill;
+                        }
+                        let single_us = target.single_cost_us[request.branch];
+                        target.backlog_us += single_us;
+                        target.class_backlog_us[request.class.index()] += single_us;
+                        target.scheduler.enqueue(request, now_us);
+                        target.issued += 1;
+                    }
+                    self.queued_total += 1;
+                    // Unconditional: the repay fill can move
+                    // `free_at_us` even when the queue was
+                    // already non-empty.
+                    refresh_dispatch(&mut self.calendar, &mut self.shards, dst);
+                    self.balancer.note_admitted(request.session, dst);
+                    self.tally.replaced += 1;
+                    if self.tracing {
+                        self.sink.record(request.trace(
+                            now_us,
+                            Some(dst),
+                            RequestEventKind::Replace { from_shard: victim },
+                        ));
+                    }
+                }
+            }
+            Action::Drain => {
+                let shard = life_shard;
+                if shard >= self.shards.len() || self.shards[shard].phase != ShardState::Active {
+                    return;
+                }
+                let floor = self.policy.min_shards.max(1);
+                if active_count(&self.shards) <= floor {
+                    return;
+                }
+                self.shards[shard].phase = ShardState::Draining;
+                record(
+                    &mut self.tally.scale_events,
+                    &self.shards,
+                    now_us,
+                    ScaleEventKind::Drain,
+                    shard,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+                if self.shards[shard].scheduler.queued() == 0 {
+                    retire(
+                        &mut self.shards,
+                        &mut self.tally.scale_events,
+                        now_us,
+                        shard,
+                        &mut *self.sink,
+                        self.tracing,
+                    );
+                }
+            }
+            Action::Warm => {
+                let shard = life_shard;
+                if self.shards[shard].phase == ShardState::Warming {
+                    self.shards[shard].phase = ShardState::Active;
+                    self.shards[shard].free_at_us = self.shards[shard].free_at_us.max(now_us);
+                    record(
+                        &mut self.tally.scale_events,
+                        &self.shards,
+                        now_us,
+                        ScaleEventKind::Warm,
+                        shard,
+                        &mut *self.sink,
+                        self.tracing,
+                    );
+                    // The warm-up raised `free_at_us`, and the
+                    // shard may have queued work placed while
+                    // warming — it becomes dispatchable now.
+                    refresh_dispatch(&mut self.calendar, &mut self.shards, shard);
+                }
+            }
+            Action::IdleCheck => {
+                let shard = life_shard;
+                if shard >= self.shards.len() {
+                    return;
+                }
+                self.shards[shard].idle_check_pending = false;
+                if self.shards[shard].phase != ShardState::Active
+                    || self.shards[shard].scheduler.queued() > 0
+                {
+                    return;
+                }
+                if self.shards[shard].free_at_us + self.policy.idle_retire_us > now_us {
+                    self.shards[shard].idle_check_pending = true;
+                    push_life(
+                        &mut self.calendar,
+                        &mut self.life_seq,
+                        self.shards[shard].free_at_us + self.policy.idle_retire_us,
+                        shard,
+                        Action::IdleCheck,
+                    );
+                    return;
+                }
+                let floor = self.policy.min_shards.max(1);
+                if active_count(&self.shards) <= floor {
+                    return;
+                }
+                retire(
+                    &mut self.shards,
+                    &mut self.tally.scale_events,
+                    now_us,
+                    shard,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+            }
+        }
+    }
+
+    fn dispatch_event(&mut self, now_us: u64, shard: usize) {
+        // Under `DeadlinePolicy::CullExpired`, requests whose
+        // deadline already passed while they queued are
+        // retired here instead of served — completing them
+        // would spend fabric time on frames nobody can use.
+        // Culling costs no fabric time (`free_at_us` is
+        // untouched), so a fully-dead batch is followed by
+        // another pop at the same instant.
+        let culls = self.deadline.culls();
+        let batch = loop {
+            let s = &mut self.shards[shard];
+            let popped = s.scheduler.next_batch(&s.model, now_us, &[]);
+            debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
+            self.queued_total -= popped.len();
+            let live = if culls {
+                let mut live = Vec::with_capacity(popped.len());
+                for request in popped {
+                    if now_us > request.deadline_us() {
+                        let single_us = s.single_cost_us[request.branch];
+                        let class = request.class.index();
+                        s.backlog_us = s.backlog_us.saturating_sub(single_us);
+                        s.class_backlog_us[class] =
+                            s.class_backlog_us[class].saturating_sub(single_us);
+                        s.expired += 1;
+                        self.tally.expired[request.branch] += 1;
+                        self.tally.class_expired[class] += 1;
+                        if self.tracing {
+                            self.sink.record(request.trace(
+                                now_us,
+                                Some(shard),
+                                RequestEventKind::Expired,
+                            ));
+                        }
+                    } else {
+                        live.push(request);
+                    }
+                }
+                live
+            } else {
+                popped
+            };
+            if !live.is_empty() || s.scheduler.queued() == 0 {
+                break live;
+            }
+        };
+        if batch.is_empty() {
+            // Expiry drained the whole queue without touching
+            // the fabric: no completion moves `free_at_us`,
+            // but the now-idle shard still owes its drain /
+            // idle-retirement housekeeping.
+            self.shards[shard].pending_since_us = 0;
+            refresh_dispatch(&mut self.calendar, &mut self.shards, shard);
+            if self.shards[shard].phase == ShardState::Draining {
+                retire(
+                    &mut self.shards,
+                    &mut self.tally.scale_events,
+                    now_us,
+                    shard,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+            } else if self.shards[shard].phase == ShardState::Active
+                && self.policy.idle_retire_us > 0
+                && !self.shards[shard].idle_check_pending
+            {
+                self.shards[shard].idle_check_pending = true;
+                push_life(
+                    &mut self.calendar,
+                    &mut self.life_seq,
+                    now_us + self.policy.idle_retire_us,
+                    shard,
+                    Action::IdleCheck,
+                );
+            }
+            return;
+        }
+        let (service_us, done_us) = {
+            let s = &self.shards[shard];
+            let branch = batch[0].branch;
+            debug_assert!(batch.iter().all(|r| r.branch == branch));
+            let service_us = s.model.batch_service_us(branch, batch.len());
+            (service_us, now_us + service_us)
+        };
+        self.shards[shard].busy_us += service_us;
+        if self.tracing {
+            self.sink.record(TraceEvent::Batch(BatchEvent {
+                at_us: now_us,
+                shard,
+                branch: batch[0].branch,
+                len: batch.len(),
+                service_us,
+            }));
+        }
+        for request in &batch {
+            let latency_us = request.latency_us(done_us);
+            if self.tracing {
+                self.sink.record(request.trace(
+                    now_us,
+                    Some(shard),
+                    RequestEventKind::ServiceStart,
+                ));
+                self.sink.record(request.trace(
+                    done_us,
+                    Some(shard),
+                    RequestEventKind::Complete { latency_us },
+                ));
+            }
+            self.tally.branch_histograms[request.branch].record(latency_us);
+            self.tally.completed[request.branch] += 1;
+            let class = request.class.index();
+            self.tally.class_histograms[class].record(latency_us);
+            self.tally.class_completed[class] += 1;
+            if request.meets_slo(done_us) {
+                self.tally.within_budget[class] += 1;
+            }
+            let s = &mut self.shards[shard];
+            s.histogram.record(latency_us);
+            s.completed += 1;
+            let single_us = s.single_cost_us[request.branch];
+            s.backlog_us = s.backlog_us.saturating_sub(single_us);
+            s.class_backlog_us[class] = s.class_backlog_us[class].saturating_sub(single_us);
+            if let Some(split) = self.split_us {
+                if done_us < split {
+                    self.tally.pre_failure.record(latency_us);
+                } else {
+                    self.tally.post_failure.record(latency_us);
+                }
+            }
+            if self.spawn.is_some() && self.policy.scale_up_p99_ms > 0.0 {
+                if self.recent_latencies.len() == P99_WINDOW {
+                    self.recent_latencies.pop_front();
+                }
+                self.recent_latencies.push_back(latency_us);
+            }
+        }
+        self.shards[shard].free_at_us = done_us;
+        self.shards[shard].pending_since_us = 0;
+        refresh_dispatch(&mut self.calendar, &mut self.shards, shard);
+        if self.shards[shard].phase == ShardState::Draining
+            && self.shards[shard].scheduler.queued() == 0
+        {
+            retire(
+                &mut self.shards,
+                &mut self.tally.scale_events,
+                done_us,
+                shard,
+                &mut *self.sink,
+                self.tracing,
+            );
+        } else if self.shards[shard].phase == ShardState::Active
+            && self.shards[shard].scheduler.queued() == 0
+            && self.policy.idle_retire_us > 0
+            && !self.shards[shard].idle_check_pending
+        {
+            self.shards[shard].idle_check_pending = true;
+            push_life(
+                &mut self.calendar,
+                &mut self.life_seq,
+                done_us + self.policy.idle_retire_us,
+                shard,
+                Action::IdleCheck,
+            );
+        }
+        if let Some(kind) = self.spawn.filter(|_| {
+            self.policy.scale_up_p99_ms > 0.0
+                && self.recent_latencies.len() >= P99_MIN_SAMPLES
+                && alive_count(&self.shards) < self.policy.max_shards
+                && self
+                    .last_scale_up
+                    .is_none_or(|t| done_us >= t.saturating_add(self.policy.cooldown_us))
+        }) {
+            let mut window: Vec<u64> = self.recent_latencies.iter().copied().collect();
+            window.sort_unstable();
+            let rank =
+                f64_to_usize((usize_to_f64(window.len()) * 0.99).ceil()).clamp(1, window.len());
+            let p99_ms = u64_to_f64(window[rank - 1]) / 1_000.0;
+            if p99_ms >= self.policy.scale_up_p99_ms {
+                do_spawn(
+                    done_us,
+                    kind,
+                    self.policy,
+                    &mut self.shards,
+                    &mut self.calendar,
+                    &mut self.life_seq,
+                    &mut self.tally.scale_events,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+                self.placeable_dirty = true;
+                self.last_scale_up = Some(done_us);
+            }
+        }
+    }
+
+    fn arrival_event(&mut self, request: Request) {
+        let now_us = request.issued_at_us;
+        let shard = if self.dense {
+            if self.placeable_dirty {
+                self.rebuild_placeable();
+            }
+            if self.placeable_ids.is_empty() {
+                self.tally.lost[request.branch] += 1;
+                self.tally.class_lost[request.class.index()] += 1;
+                if self.tracing {
+                    self.sink
+                        .record(request.trace(now_us, None, RequestEventKind::Arrival));
+                    self.sink.record(request.trace(
+                        now_us,
+                        None,
+                        RequestEventKind::Lost { orphaned: false },
+                    ));
+                }
+                return;
+            }
+            let dst = self
+                .balancer
+                .place_dense(&request, &self.placeable_ids)
+                .expect("dense placement covers only load-oblivious balancers");
+            if self.tracing {
+                self.sink
+                    .record(request.trace(now_us, Some(dst), RequestEventKind::Arrival));
+            }
+            dst
+        } else {
+            collect_placeable(&mut self.loads, &self.shards);
+            if self.loads.is_empty() {
+                self.tally.lost[request.branch] += 1;
+                self.tally.class_lost[request.class.index()] += 1;
+                if self.tracing {
+                    self.sink
+                        .record(request.trace(now_us, None, RequestEventKind::Arrival));
+                    self.sink.record(request.trace(
+                        now_us,
+                        None,
+                        RequestEventKind::Lost { orphaned: false },
+                    ));
+                }
+                return;
+            }
+            self.balancer.place_traced(
+                &request,
+                &self.loads,
+                now_us,
+                self.capacity,
+                &mut *self.sink,
+                self.tracing,
+            )
+        };
+        let enqueued_into_empty = {
+            let target = &mut self.shards[shard];
+            target.issued += 1;
+            let single_us = target.single_cost_us[request.branch];
+            let view = target.admission_view(self.capacity, single_us, request.branch);
+            if !admit_traced(
+                self.admission,
+                &request,
+                &view,
+                now_us,
+                shard,
+                &mut *self.sink,
+                self.tracing,
+            ) {
+                self.tally.shed[request.branch] += 1;
+                self.tally.class_shed[request.class.index()] += 1;
+                target.shed += 1;
+                false
+            } else if target.scheduler.queued() >= self.capacity {
+                self.tally.dropped[request.branch] += 1;
+                self.tally.class_dropped[request.class.index()] += 1;
+                target.dropped += 1;
+                if self.tracing {
+                    self.sink
+                        .record(request.trace(now_us, Some(shard), RequestEventKind::Drop));
+                }
+                false
+            } else {
+                let was_empty = target.scheduler.queued() == 0;
+                if was_empty {
+                    target.pending_since_us = now_us;
+                }
+                target.backlog_us += single_us;
+                target.class_backlog_us[request.class.index()] += single_us;
+                target.scheduler.enqueue(request, now_us);
+                self.queued_total += 1;
+                self.balancer.note_admitted(request.session, shard);
+                if self.tracing {
+                    self.sink
+                        .record(request.trace(now_us, Some(shard), RequestEventKind::Enqueue));
+                }
+                was_empty
+            }
+        };
+        if enqueued_into_empty {
+            refresh_dispatch(&mut self.calendar, &mut self.shards, shard);
+        }
+        if let Some(kind) = self.spawn.filter(|_| self.policy.scale_up_queue_depth > 0) {
+            let actives = active_count(&self.shards);
+            let queued: usize = self
+                .shards
+                .iter()
+                .filter(|s| s.phase == ShardState::Active)
+                .map(|s| s.scheduler.queued())
+                .sum();
+            if actives > 0
+                && queued >= self.policy.scale_up_queue_depth * actives
+                && alive_count(&self.shards) < self.policy.max_shards
+                && self
+                    .last_scale_up
+                    .is_none_or(|t| now_us >= t.saturating_add(self.policy.cooldown_us))
+            {
+                do_spawn(
+                    now_us,
+                    kind,
+                    self.policy,
+                    &mut self.shards,
+                    &mut self.calendar,
+                    &mut self.life_seq,
+                    &mut self.tally.scale_events,
+                    &mut *self.sink,
+                    self.tracing,
+                );
+                self.placeable_dirty = true;
+                self.last_scale_up = Some(now_us);
+            }
+        }
+    }
+
+    /// Consumes the core and folds the per-shard state into the final
+    /// report — the old loop's epilogue, verbatim.
+    pub(crate) fn finish(self) -> ServeReport {
+        let model0 = self.shards[0].model.clone();
+        let summaries: Vec<ShardSummary> = self
+            .shards
+            .into_iter()
+            .map(|s| ShardSummary {
+                scheduler_name: s.scheduler.name(),
+                phase: s.phase,
+                free_at_us: s.free_at_us,
+                busy_us: s.busy_us,
+                issued: s.issued,
+                completed: s.completed,
+                dropped: s.dropped,
+                shed: s.shed,
+                expired: s.expired,
+                histogram: s.histogram,
+            })
+            .collect();
+        finalize(
+            self.scenario,
+            self.balancer_kind.name(),
+            self.admission.name(),
+            &model0,
+            self.tally,
+            &summaries,
+        )
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run<'a>(
     config: &FleetConfig,
@@ -527,652 +1328,11 @@ pub(crate) fn run<'a>(
     deadline: DeadlinePolicy,
     sink: &mut dyn TraceSink,
 ) -> ServeReport {
-    config.assert_valid();
-    assert_eq!(
-        schedulers.len(),
-        config.shard_count(),
-        "one scheduler per shard ({} shards, {} schedulers)",
-        config.shard_count(),
-        schedulers.len()
+    let mut core = EngineCore::new(
+        config, scenario, schedulers, spawn, policy, failures, admission, deadline, sink,
     );
-    let branch_count = config.branch_count();
-    let arrivals = scenario.generate(branch_count);
-    let mut balancer = Balancer::new(config.balancer);
-    balancer.reserve_sessions(scenario.sessions);
-    let capacity = scenario.queue_capacity;
-    let tracing = sink.enabled();
-
-    let mut shards: Vec<Shard<'a>> = config
-        .shards
-        .iter()
-        .zip(schedulers)
-        .map(|(model, scheduler)| {
-            let model = match &scenario.priorities {
-                Some(priorities) => model.clone().with_priorities(priorities),
-                None => model.clone(),
-            };
-            Shard::new(model, scheduler, ShardState::Active)
-        })
-        .collect();
-
-    let mut tally = Tally::new(branch_count);
-    tally.count_arrivals(&arrivals);
-
-    let mut calendar: Calendar<CalEvent> = Calendar::new();
-    let mut life_seq = 0u64;
-    for kill in failures.kills() {
-        let shard = match kill.target {
-            KillTarget::Shard(s) => s,
-            KillTarget::Seeded(_) => usize::MAX, // resolved at fire time
-        };
-        push_life(
-            &mut calendar,
-            &mut life_seq,
-            kill.at_us,
-            shard,
-            Action::Fail(kill.target),
-        );
-    }
-    for &(at_us, shard) in &policy.drains {
-        push_life(&mut calendar, &mut life_seq, at_us, shard, Action::Drain);
-    }
-    if policy.idle_retire_us > 0 {
-        for (index, shard) in shards.iter_mut().enumerate() {
-            shard.idle_check_pending = true;
-            push_life(
-                &mut calendar,
-                &mut life_seq,
-                policy.idle_retire_us,
-                index,
-                Action::IdleCheck,
-            );
-        }
-    }
-    let split_us = failures.first_kill_us();
-    let mut last_scale_up: Option<u64> = None;
-    let mut recent_latencies: VecDeque<u64> = VecDeque::with_capacity(P99_WINDOW);
-
-    let mut next_arrival = 0;
-    // Requests sitting in shard queues, fleet-wide: the O(1) termination
-    // check (the frozen loop re-summed every shard per iteration).
-    let mut queued_total: usize = 0;
-    let mut loads: Vec<(usize, ShardLoad)> = Vec::with_capacity(shards.len());
-    // Load-oblivious placement fast path: while the fleet is untouched by
-    // lifecycle events (everything Active), round-robin and branch-sharded
-    // placement are pure arithmetic over the full shard range — no
-    // per-arrival placeable scan. Any lifecycle event or spawn clears the
-    // flag, falling back to the general path for the rest of the run.
-    let mut dense = matches!(
-        config.balancer,
-        LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
-    );
-
-    loop {
-        let due_arrival = arrivals.get(next_arrival).copied();
-        if due_arrival.is_none() && queued_total == 0 {
-            break;
-        }
-        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
-        // Surface the earliest *live* calendar entry, discarding stale
-        // dispatch entries (superseded epochs) lazily.
-        let front = loop {
-            match calendar.peek_key() {
-                Some(key)
-                    if key.lane == LANE_DISPATCH
-                        && key.b != shards[u64_to_usize(key.a)].dispatch_epoch =>
-                {
-                    calendar.pop();
-                }
-                other => break other,
-            }
-        };
-        let take_calendar =
-            front.is_some_and(|key| (key.at_us, key.lane) < (arrival_at, LANE_ARRIVAL));
-        if !take_calendar && due_arrival.is_none() {
-            debug_assert!(false, "stranded queued work with no pending event");
-            break;
-        }
-
-        if take_calendar {
-            let (key, event) = calendar.pop().expect("calendar front was just peeked");
-            let now_us = key.at_us;
-            match event {
-                CalEvent::Life {
-                    shard: life_shard,
-                    action,
-                } => {
-                    dense = false;
-                    match action {
-                        Action::Fail(target) => {
-                            let victim = match target {
-                                KillTarget::Shard(s)
-                                    if s < shards.len() && shards[s].phase.is_alive() =>
-                                {
-                                    Some(s)
-                                }
-                                KillTarget::Shard(_) => None,
-                                KillTarget::Seeded(hash) => {
-                                    let actives: Vec<usize> = (0..shards.len())
-                                        .filter(|&s| shards[s].phase == ShardState::Active)
-                                        .collect();
-                                    if actives.is_empty() {
-                                        None
-                                    } else {
-                                        Some(
-                                            actives
-                                                [u64_to_usize(hash % usize_to_u64(actives.len()))],
-                                        )
-                                    }
-                                }
-                            };
-                            let Some(victim) = victim else { continue };
-                            shards[victim].phase = ShardState::Failed;
-                            record(
-                                &mut tally.scale_events,
-                                &shards,
-                                now_us,
-                                ScaleEventKind::Fail,
-                                victim,
-                                sink,
-                                tracing,
-                            );
-                            let mut orphans: Vec<Request> = Vec::new();
-                            {
-                                let dead = &mut shards[victim];
-                                while dead.scheduler.queued() > 0 {
-                                    let batch = dead.scheduler.next_batch(&dead.model, now_us, &[]);
-                                    debug_assert!(
-                                        !batch.is_empty(),
-                                        "scheduler returned an empty batch"
-                                    );
-                                    orphans.extend(batch);
-                                }
-                                dead.backlog_us = 0;
-                                dead.class_backlog_us = [0; CLASS_COUNT];
-                                dead.pending_since_us = 0;
-                                dead.issued -= usize_to_u64(orphans.len());
-                            }
-                            queued_total -= orphans.len();
-                            refresh_dispatch(&mut calendar, &mut shards, victim);
-                            if let Some(kind) = spawn {
-                                while alive_count(&shards) < policy.min_shards
-                                    && alive_count(&shards) < policy.max_shards
-                                {
-                                    do_spawn(
-                                        now_us,
-                                        kind,
-                                        policy,
-                                        &mut shards,
-                                        &mut calendar,
-                                        &mut life_seq,
-                                        &mut tally.scale_events,
-                                        sink,
-                                        tracing,
-                                    );
-                                    last_scale_up = Some(now_us);
-                                }
-                            }
-                            for request in orphans {
-                                collect_placeable(&mut loads, &shards);
-                                if loads.is_empty() {
-                                    tally.lost[request.branch] += 1;
-                                    tally.class_lost[request.class.index()] += 1;
-                                    if tracing {
-                                        sink.record(request.trace(
-                                            now_us,
-                                            None,
-                                            RequestEventKind::Lost { orphaned: true },
-                                        ));
-                                    }
-                                    continue;
-                                }
-                                let dst = balancer.place(&request, &loads, now_us, capacity);
-                                if shards[dst].scheduler.queued() >= capacity {
-                                    tally.lost[request.branch] += 1;
-                                    tally.class_lost[request.class.index()] += 1;
-                                    if tracing {
-                                        sink.record(request.trace(
-                                            now_us,
-                                            None,
-                                            RequestEventKind::Lost { orphaned: true },
-                                        ));
-                                    }
-                                    continue;
-                                }
-                                {
-                                    let target = &mut shards[dst];
-                                    if target.scheduler.queued() == 0 {
-                                        target.pending_since_us = now_us;
-                                    }
-                                    if failures.repay_fill() && target.phase != ShardState::Warming
-                                    {
-                                        let fill =
-                                            target.model.branches[request.branch].fill_time_us;
-                                        target.free_at_us = target.free_at_us.max(now_us) + fill;
-                                        target.busy_us += fill;
-                                    }
-                                    let single_us = target.single_cost_us[request.branch];
-                                    target.backlog_us += single_us;
-                                    target.class_backlog_us[request.class.index()] += single_us;
-                                    target.scheduler.enqueue(request, now_us);
-                                    target.issued += 1;
-                                }
-                                queued_total += 1;
-                                // Unconditional: the repay fill can move
-                                // `free_at_us` even when the queue was
-                                // already non-empty.
-                                refresh_dispatch(&mut calendar, &mut shards, dst);
-                                balancer.note_admitted(request.session, dst);
-                                tally.replaced += 1;
-                                if tracing {
-                                    sink.record(request.trace(
-                                        now_us,
-                                        Some(dst),
-                                        RequestEventKind::Replace { from_shard: victim },
-                                    ));
-                                }
-                            }
-                        }
-                        Action::Drain => {
-                            let shard = life_shard;
-                            if shard >= shards.len() || shards[shard].phase != ShardState::Active {
-                                continue;
-                            }
-                            let floor = policy.min_shards.max(1);
-                            if active_count(&shards) <= floor {
-                                continue;
-                            }
-                            shards[shard].phase = ShardState::Draining;
-                            record(
-                                &mut tally.scale_events,
-                                &shards,
-                                now_us,
-                                ScaleEventKind::Drain,
-                                shard,
-                                sink,
-                                tracing,
-                            );
-                            if shards[shard].scheduler.queued() == 0 {
-                                retire(
-                                    &mut shards,
-                                    &mut tally.scale_events,
-                                    now_us,
-                                    shard,
-                                    sink,
-                                    tracing,
-                                );
-                            }
-                        }
-                        Action::Warm => {
-                            let shard = life_shard;
-                            if shards[shard].phase == ShardState::Warming {
-                                shards[shard].phase = ShardState::Active;
-                                shards[shard].free_at_us = shards[shard].free_at_us.max(now_us);
-                                record(
-                                    &mut tally.scale_events,
-                                    &shards,
-                                    now_us,
-                                    ScaleEventKind::Warm,
-                                    shard,
-                                    sink,
-                                    tracing,
-                                );
-                                // The warm-up raised `free_at_us`, and the
-                                // shard may have queued work placed while
-                                // warming — it becomes dispatchable now.
-                                refresh_dispatch(&mut calendar, &mut shards, shard);
-                            }
-                        }
-                        Action::IdleCheck => {
-                            let shard = life_shard;
-                            if shard >= shards.len() {
-                                continue;
-                            }
-                            shards[shard].idle_check_pending = false;
-                            if shards[shard].phase != ShardState::Active
-                                || shards[shard].scheduler.queued() > 0
-                            {
-                                continue;
-                            }
-                            if shards[shard].free_at_us + policy.idle_retire_us > now_us {
-                                shards[shard].idle_check_pending = true;
-                                push_life(
-                                    &mut calendar,
-                                    &mut life_seq,
-                                    shards[shard].free_at_us + policy.idle_retire_us,
-                                    shard,
-                                    Action::IdleCheck,
-                                );
-                                continue;
-                            }
-                            let floor = policy.min_shards.max(1);
-                            if active_count(&shards) <= floor {
-                                continue;
-                            }
-                            retire(
-                                &mut shards,
-                                &mut tally.scale_events,
-                                now_us,
-                                shard,
-                                sink,
-                                tracing,
-                            );
-                        }
-                    }
-                }
-                CalEvent::Dispatch { shard } => {
-                    // Under `DeadlinePolicy::CullExpired`, requests whose
-                    // deadline already passed while they queued are
-                    // retired here instead of served — completing them
-                    // would spend fabric time on frames nobody can use.
-                    // Culling costs no fabric time (`free_at_us` is
-                    // untouched), so a fully-dead batch is followed by
-                    // another pop at the same instant.
-                    let batch = loop {
-                        let s = &mut shards[shard];
-                        let popped = s.scheduler.next_batch(&s.model, now_us, &[]);
-                        debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
-                        queued_total -= popped.len();
-                        let live = if deadline.culls() {
-                            let mut live = Vec::with_capacity(popped.len());
-                            for request in popped {
-                                if now_us > request.deadline_us() {
-                                    let single_us = s.single_cost_us[request.branch];
-                                    let class = request.class.index();
-                                    s.backlog_us = s.backlog_us.saturating_sub(single_us);
-                                    s.class_backlog_us[class] =
-                                        s.class_backlog_us[class].saturating_sub(single_us);
-                                    s.expired += 1;
-                                    tally.expired[request.branch] += 1;
-                                    tally.class_expired[class] += 1;
-                                    if tracing {
-                                        sink.record(request.trace(
-                                            now_us,
-                                            Some(shard),
-                                            RequestEventKind::Expired,
-                                        ));
-                                    }
-                                } else {
-                                    live.push(request);
-                                }
-                            }
-                            live
-                        } else {
-                            popped
-                        };
-                        if !live.is_empty() || s.scheduler.queued() == 0 {
-                            break live;
-                        }
-                    };
-                    if batch.is_empty() {
-                        // Expiry drained the whole queue without touching
-                        // the fabric: no completion moves `free_at_us`,
-                        // but the now-idle shard still owes its drain /
-                        // idle-retirement housekeeping.
-                        shards[shard].pending_since_us = 0;
-                        refresh_dispatch(&mut calendar, &mut shards, shard);
-                        if shards[shard].phase == ShardState::Draining {
-                            retire(
-                                &mut shards,
-                                &mut tally.scale_events,
-                                now_us,
-                                shard,
-                                sink,
-                                tracing,
-                            );
-                        } else if shards[shard].phase == ShardState::Active
-                            && policy.idle_retire_us > 0
-                            && !shards[shard].idle_check_pending
-                        {
-                            shards[shard].idle_check_pending = true;
-                            push_life(
-                                &mut calendar,
-                                &mut life_seq,
-                                now_us + policy.idle_retire_us,
-                                shard,
-                                Action::IdleCheck,
-                            );
-                        }
-                        continue;
-                    }
-                    let (service_us, done_us) = {
-                        let s = &shards[shard];
-                        let branch = batch[0].branch;
-                        debug_assert!(batch.iter().all(|r| r.branch == branch));
-                        let service_us = s.model.batch_service_us(branch, batch.len());
-                        (service_us, now_us + service_us)
-                    };
-                    shards[shard].busy_us += service_us;
-                    if tracing {
-                        sink.record(TraceEvent::Batch(BatchEvent {
-                            at_us: now_us,
-                            shard,
-                            branch: batch[0].branch,
-                            len: batch.len(),
-                            service_us,
-                        }));
-                    }
-                    for request in &batch {
-                        let latency_us = request.latency_us(done_us);
-                        if tracing {
-                            sink.record(request.trace(
-                                now_us,
-                                Some(shard),
-                                RequestEventKind::ServiceStart,
-                            ));
-                            sink.record(request.trace(
-                                done_us,
-                                Some(shard),
-                                RequestEventKind::Complete { latency_us },
-                            ));
-                        }
-                        tally.branch_histograms[request.branch].record(latency_us);
-                        tally.completed[request.branch] += 1;
-                        let class = request.class.index();
-                        tally.class_histograms[class].record(latency_us);
-                        tally.class_completed[class] += 1;
-                        if request.meets_slo(done_us) {
-                            tally.within_budget[class] += 1;
-                        }
-                        let s = &mut shards[shard];
-                        s.histogram.record(latency_us);
-                        s.completed += 1;
-                        let single_us = s.single_cost_us[request.branch];
-                        s.backlog_us = s.backlog_us.saturating_sub(single_us);
-                        s.class_backlog_us[class] =
-                            s.class_backlog_us[class].saturating_sub(single_us);
-                        if let Some(split) = split_us {
-                            if done_us < split {
-                                tally.pre_failure.record(latency_us);
-                            } else {
-                                tally.post_failure.record(latency_us);
-                            }
-                        }
-                        if spawn.is_some() && policy.scale_up_p99_ms > 0.0 {
-                            if recent_latencies.len() == P99_WINDOW {
-                                recent_latencies.pop_front();
-                            }
-                            recent_latencies.push_back(latency_us);
-                        }
-                    }
-                    shards[shard].free_at_us = done_us;
-                    shards[shard].pending_since_us = 0;
-                    refresh_dispatch(&mut calendar, &mut shards, shard);
-                    if shards[shard].phase == ShardState::Draining
-                        && shards[shard].scheduler.queued() == 0
-                    {
-                        retire(
-                            &mut shards,
-                            &mut tally.scale_events,
-                            done_us,
-                            shard,
-                            sink,
-                            tracing,
-                        );
-                    } else if shards[shard].phase == ShardState::Active
-                        && shards[shard].scheduler.queued() == 0
-                        && policy.idle_retire_us > 0
-                        && !shards[shard].idle_check_pending
-                    {
-                        shards[shard].idle_check_pending = true;
-                        push_life(
-                            &mut calendar,
-                            &mut life_seq,
-                            done_us + policy.idle_retire_us,
-                            shard,
-                            Action::IdleCheck,
-                        );
-                    }
-                    if let Some(kind) = spawn.filter(|_| {
-                        policy.scale_up_p99_ms > 0.0
-                            && recent_latencies.len() >= P99_MIN_SAMPLES
-                            && alive_count(&shards) < policy.max_shards
-                            && last_scale_up
-                                .is_none_or(|t| done_us >= t.saturating_add(policy.cooldown_us))
-                    }) {
-                        let mut window: Vec<u64> = recent_latencies.iter().copied().collect();
-                        window.sort_unstable();
-                        let rank = f64_to_usize((usize_to_f64(window.len()) * 0.99).ceil())
-                            .clamp(1, window.len());
-                        let p99_ms = u64_to_f64(window[rank - 1]) / 1_000.0;
-                        if p99_ms >= policy.scale_up_p99_ms {
-                            do_spawn(
-                                done_us,
-                                kind,
-                                policy,
-                                &mut shards,
-                                &mut calendar,
-                                &mut life_seq,
-                                &mut tally.scale_events,
-                                sink,
-                                tracing,
-                            );
-                            dense = false;
-                            last_scale_up = Some(done_us);
-                        }
-                    }
-                }
-            }
-        } else {
-            let request = due_arrival.expect("arrival_at is finite");
-            next_arrival += 1;
-            let now_us = request.issued_at_us;
-            let shard = if dense {
-                let dst = balancer
-                    .place_all_active(&request, shards.len())
-                    .expect("dense placement covers only load-oblivious balancers");
-                if tracing {
-                    sink.record(request.trace(now_us, Some(dst), RequestEventKind::Arrival));
-                }
-                dst
-            } else {
-                collect_placeable(&mut loads, &shards);
-                if loads.is_empty() {
-                    tally.lost[request.branch] += 1;
-                    tally.class_lost[request.class.index()] += 1;
-                    if tracing {
-                        sink.record(request.trace(now_us, None, RequestEventKind::Arrival));
-                        sink.record(request.trace(
-                            now_us,
-                            None,
-                            RequestEventKind::Lost { orphaned: false },
-                        ));
-                    }
-                    continue;
-                }
-                balancer.place_traced(&request, &loads, now_us, capacity, sink, tracing)
-            };
-            let enqueued_into_empty = {
-                let target = &mut shards[shard];
-                target.issued += 1;
-                let single_us = target.single_cost_us[request.branch];
-                let view = target.admission_view(capacity, single_us, request.branch);
-                if !admit_traced(admission, &request, &view, now_us, shard, sink, tracing) {
-                    tally.shed[request.branch] += 1;
-                    tally.class_shed[request.class.index()] += 1;
-                    target.shed += 1;
-                    false
-                } else if target.scheduler.queued() >= capacity {
-                    tally.dropped[request.branch] += 1;
-                    tally.class_dropped[request.class.index()] += 1;
-                    target.dropped += 1;
-                    if tracing {
-                        sink.record(request.trace(now_us, Some(shard), RequestEventKind::Drop));
-                    }
-                    false
-                } else {
-                    let was_empty = target.scheduler.queued() == 0;
-                    if was_empty {
-                        target.pending_since_us = now_us;
-                    }
-                    target.backlog_us += single_us;
-                    target.class_backlog_us[request.class.index()] += single_us;
-                    target.scheduler.enqueue(request, now_us);
-                    queued_total += 1;
-                    balancer.note_admitted(request.session, shard);
-                    if tracing {
-                        sink.record(request.trace(now_us, Some(shard), RequestEventKind::Enqueue));
-                    }
-                    was_empty
-                }
-            };
-            if enqueued_into_empty {
-                refresh_dispatch(&mut calendar, &mut shards, shard);
-            }
-            if let Some(kind) = spawn.filter(|_| policy.scale_up_queue_depth > 0) {
-                let actives = active_count(&shards);
-                let queued: usize = shards
-                    .iter()
-                    .filter(|s| s.phase == ShardState::Active)
-                    .map(|s| s.scheduler.queued())
-                    .sum();
-                if actives > 0
-                    && queued >= policy.scale_up_queue_depth * actives
-                    && alive_count(&shards) < policy.max_shards
-                    && last_scale_up.is_none_or(|t| now_us >= t.saturating_add(policy.cooldown_us))
-                {
-                    do_spawn(
-                        now_us,
-                        kind,
-                        policy,
-                        &mut shards,
-                        &mut calendar,
-                        &mut life_seq,
-                        &mut tally.scale_events,
-                        sink,
-                        tracing,
-                    );
-                    dense = false;
-                    last_scale_up = Some(now_us);
-                }
-            }
-        }
-    }
-
-    let model0 = shards[0].model.clone();
-    let summaries: Vec<ShardSummary> = shards
-        .into_iter()
-        .map(|s| ShardSummary {
-            scheduler_name: s.scheduler.name(),
-            phase: s.phase,
-            free_at_us: s.free_at_us,
-            busy_us: s.busy_us,
-            issued: s.issued,
-            completed: s.completed,
-            dropped: s.dropped,
-            shed: s.shed,
-            expired: s.expired,
-            histogram: s.histogram,
-        })
-        .collect();
-    finalize(
-        scenario,
-        config.balancer.name(),
-        admission.name(),
-        &model0,
-        tally,
-        &summaries,
-    )
+    while core.step() {}
+    core.finish()
 }
 
 /// Fleet-wide accumulators shared by the sequential and parallel engines:

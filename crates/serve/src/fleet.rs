@@ -249,24 +249,21 @@ impl Balancer {
         shard
     }
 
-    /// O(1) placement for the engine's dense fast path: valid only while
-    /// *every* shard in `0..shard_count` is placeable (a static fleet
-    /// untouched by lifecycle events). Round-robin advances the same
-    /// cursor arithmetic as [`Balancer::place`] over a full candidate
-    /// slice; branch-sharding is pure arithmetic. The load-aware kinds
-    /// return `None` — they need the candidates' live loads.
-    pub(crate) fn place_all_active(
-        &mut self,
-        request: &Request,
-        shard_count: usize,
-    ) -> Option<usize> {
+    /// O(1) placement over a *placeable-id snapshot*: the engine's
+    /// piecewise-static fast path hands in the sorted global ids of the
+    /// currently placeable shards (rebuilt only after a lifecycle event),
+    /// and round-robin / branch-sharding place by the same cursor
+    /// arithmetic [`Balancer::place`] applies to a candidate slice — the
+    /// ids play the role of the `(id, load)` pairs, which these two kinds
+    /// never read. Load-aware kinds return `None`: they need live loads.
+    pub(crate) fn place_dense(&mut self, request: &Request, ids: &[usize]) -> Option<usize> {
         match self.kind {
             LoadBalancerKind::RoundRobin => {
-                let shard = self.next_round_robin % shard_count;
-                self.next_round_robin = (self.next_round_robin + 1) % shard_count;
+                let shard = ids[self.next_round_robin % ids.len()];
+                self.next_round_robin = (self.next_round_robin + 1) % ids.len();
                 Some(shard)
             }
-            LoadBalancerKind::BranchSharded => Some(request.branch % shard_count),
+            LoadBalancerKind::BranchSharded => Some(ids[request.branch % ids.len()]),
             LoadBalancerKind::LeastLoaded | LoadBalancerKind::AffinityFirst => None,
         }
     }

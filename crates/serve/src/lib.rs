@@ -119,6 +119,7 @@ mod report;
 mod request;
 mod scenario;
 mod scheduler;
+mod window;
 
 pub use admission::{
     AdmissionController, AdmissionKind, AdmissionView, AdmitAll, BudgetAwareAdmission,
@@ -145,6 +146,7 @@ pub use scenario::{ArrivalPattern, Scenario};
 pub use scheduler::{
     BatchScheduler, DeadlineScheduler, FifoScheduler, PriorityScheduler, Scheduler, SchedulerKind,
 };
+pub use window::{simulate_windowed, simulate_windowed_traced, WindowPlan};
 
 // Observability surface, re-exported from `fcad-obs` so traced serving
 // needs only this crate: the sink trait and its implementations, the

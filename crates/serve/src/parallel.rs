@@ -25,12 +25,11 @@
 //! (least-loaded, affinity-first), one shard, or `workers <= 1` — falls
 //! back to the sequential engine, which is bit-identical by definition.
 
-use fcad_obs::{BatchEvent, Off, RequestEventKind, TraceEvent, TraceSink};
+use fcad_obs::{Off, TraceEvent, TraceSink};
 
-use crate::admission::{admit_traced, AdmissionController, AdmissionKind};
+use crate::admission::{AdmissionController, AdmissionKind};
 use crate::autoscale::{Autoscaler, FailurePlan, ShardState};
-use crate::calendar::{LANE_ARRIVAL, LANE_DISPATCH};
-use crate::cast::usize_to_u64;
+use crate::calendar::LANE_ARRIVAL;
 use crate::deadline::DeadlinePolicy;
 use crate::engine::{finalize, run as run_sequential, simulate_traced, Shard, ShardSummary, Tally};
 use crate::fleet::{FleetConfig, LoadBalancerKind};
@@ -271,22 +270,22 @@ fn run_parallel(
 /// lane (arrivals before dispatches, exactly the engine's tie rule), the
 /// in-lane tiebreak (arrival id — global arrival order within an instant —
 /// or dispatching shard id), and the event's index within its step.
-type StepKey = (u64, u8, u64, u64);
+pub(crate) type StepKey = (u64, u8, u64, u64);
 
 /// A shard-tagging trace sink: every recorded event is stamped with the
 /// current processing-step key so per-worker streams merge into the
 /// sequential recording order by a plain sort.
-struct StepSink {
+pub(crate) struct StepSink {
     on: bool,
     at_us: u64,
     lane: u8,
     tie: u64,
     seq: u64,
-    events: Vec<(StepKey, TraceEvent)>,
+    pub(crate) events: Vec<(StepKey, TraceEvent)>,
 }
 
 impl StepSink {
-    fn new(on: bool) -> Self {
+    pub(crate) fn new(on: bool) -> Self {
         Self {
             on,
             at_us: 0,
@@ -297,7 +296,7 @@ impl StepSink {
         }
     }
 
-    fn begin_step(&mut self, at_us: u64, lane: u8, tie: u64) {
+    pub(crate) fn begin_step(&mut self, at_us: u64, lane: u8, tie: u64) {
         self.at_us = at_us;
         self.lane = lane;
         self.tie = tie;
@@ -345,142 +344,22 @@ fn simulate_shard(
 ) -> ShardOutcome {
     let mut sink = StepSink::new(tracing);
     let mut shard = Shard::new(model, kind.build(), ShardState::Active);
-    let mut next_arrival = 0usize;
-    loop {
-        let due_arrival = arrivals.get(next_arrival).copied();
-        if due_arrival.is_none() && shard.scheduler.queued() == 0 {
-            break;
-        }
-        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
-        if shard.scheduler.queued() > 0 && shard.dispatch_at() < arrival_at {
-            let now_us = shard.dispatch_at();
-            sink.begin_step(now_us, LANE_DISPATCH, usize_to_u64(shard_id));
-            // Same culling discipline as the sequential dispatch arm:
-            // already-expired requests retire straight out of the queue,
-            // and a fully-dead batch is followed by another pop at the
-            // same instant — culling costs no fabric time.
-            let batch = loop {
-                let popped = shard.scheduler.next_batch(&shard.model, now_us, &[]);
-                debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
-                let live = if deadline.culls() {
-                    let mut live = Vec::with_capacity(popped.len());
-                    for request in popped {
-                        if now_us > request.deadline_us() {
-                            let single_us = shard.single_cost_us[request.branch];
-                            let class = request.class.index();
-                            shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
-                            shard.class_backlog_us[class] =
-                                shard.class_backlog_us[class].saturating_sub(single_us);
-                            shard.expired += 1;
-                            tally.expired[request.branch] += 1;
-                            tally.class_expired[class] += 1;
-                            if tracing {
-                                sink.record(request.trace(
-                                    now_us,
-                                    Some(shard_id),
-                                    RequestEventKind::Expired,
-                                ));
-                            }
-                        } else {
-                            live.push(request);
-                        }
-                    }
-                    live
-                } else {
-                    popped
-                };
-                if !live.is_empty() || shard.scheduler.queued() == 0 {
-                    break live;
-                }
-            };
-            if batch.is_empty() {
-                // Expiry drained the whole queue without touching the
-                // fabric — `free_at_us` stays put.
-                shard.pending_since_us = 0;
-                continue;
-            }
-            let branch = batch[0].branch;
-            debug_assert!(batch.iter().all(|r| r.branch == branch));
-            let service_us = shard.model.batch_service_us(branch, batch.len());
-            let done_us = now_us + service_us;
-            shard.busy_us += service_us;
-            if tracing {
-                sink.record(TraceEvent::Batch(BatchEvent {
-                    at_us: now_us,
-                    shard: shard_id,
-                    branch,
-                    len: batch.len(),
-                    service_us,
-                }));
-            }
-            for request in &batch {
-                let latency_us = request.latency_us(done_us);
-                if tracing {
-                    sink.record(request.trace(
-                        now_us,
-                        Some(shard_id),
-                        RequestEventKind::ServiceStart,
-                    ));
-                    sink.record(request.trace(
-                        done_us,
-                        Some(shard_id),
-                        RequestEventKind::Complete { latency_us },
-                    ));
-                }
-                tally.branch_histograms[request.branch].record(latency_us);
-                tally.completed[request.branch] += 1;
-                let class = request.class.index();
-                tally.class_histograms[class].record(latency_us);
-                tally.class_completed[class] += 1;
-                if request.meets_slo(done_us) {
-                    tally.within_budget[class] += 1;
-                }
-                shard.histogram.record(latency_us);
-                shard.completed += 1;
-                let single_us = shard.single_cost_us[request.branch];
-                shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
-                shard.class_backlog_us[class] =
-                    shard.class_backlog_us[class].saturating_sub(single_us);
-            }
-            shard.free_at_us = done_us;
-            shard.pending_since_us = 0;
-        } else {
-            let request = due_arrival.expect("arrival_at is finite");
-            next_arrival += 1;
-            let now_us = request.issued_at_us;
-            sink.begin_step(now_us, LANE_ARRIVAL, request.id);
-            if tracing {
-                sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Arrival));
-            }
-            shard.issued += 1;
-            let single_us = shard.single_cost_us[request.branch];
-            let view = shard.admission_view(capacity, single_us, request.branch);
-            if !admit_traced(
-                admission, &request, &view, now_us, shard_id, &mut sink, tracing,
-            ) {
-                tally.shed[request.branch] += 1;
-                tally.class_shed[request.class.index()] += 1;
-                shard.shed += 1;
-            } else if shard.scheduler.queued() >= capacity {
-                tally.dropped[request.branch] += 1;
-                tally.class_dropped[request.class.index()] += 1;
-                shard.dropped += 1;
-                if tracing {
-                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Drop));
-                }
-            } else {
-                if shard.scheduler.queued() == 0 {
-                    shard.pending_since_us = now_us;
-                }
-                shard.backlog_us += single_us;
-                shard.class_backlog_us[request.class.index()] += single_us;
-                shard.scheduler.enqueue(request, now_us);
-                if tracing {
-                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Enqueue));
-                }
-            }
-        }
-    }
+    // The static decomposition is the unbounded-horizon special case of
+    // the windowed engine's per-shard loop: the whole arrival stream in
+    // one "window" that never ends, over a fresh all-Active shard with no
+    // failure split.
+    crate::window::advance_shard(
+        shard_id,
+        &mut shard,
+        admission,
+        arrivals,
+        capacity,
+        deadline,
+        u64::MAX,
+        None,
+        tally,
+        &mut sink,
+    );
     let summary = ShardSummary {
         scheduler_name: shard.scheduler.name(),
         phase: shard.phase,

@@ -44,7 +44,11 @@ use std::collections::{BinaryHeap, VecDeque};
 /// A scheduling discipline: accepts admitted requests and, whenever the
 /// shared weight-streaming DMA is free, picks the next same-branch batch
 /// to dispatch.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait because the parallel engines move live shards —
+/// scheduler included — onto scoped worker threads; every built-in
+/// discipline is plain data, so the bound costs nothing.
+pub trait Scheduler: Send {
     /// Discipline name (used in reports).
     fn name(&self) -> &'static str;
 

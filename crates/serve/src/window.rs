@@ -1,0 +1,609 @@
+//! Time-windowed parallel execution for *coupled* fleets: autoscaled,
+//! failure-injected and admission-shedding runs spread across worker
+//! threads, bit-identical to the sequential calendar engine.
+//!
+//! [`crate::parallel`] decomposes the static corner — an all-Active fleet
+//! under a load-oblivious balancer — by partitioning the entire arrival
+//! stream up front. Coupled configurations cannot decompose that way:
+//! lifecycle events (spawn / warm / drain / fail), autoscale trigger
+//! evaluations and orphan re-placement all read or write **cross-shard**
+//! state, so their ordering against every other event is load-bearing.
+//!
+//! The windowed engine runs the *same* [`EngineCore`] the sequential
+//! engine runs, but drives it in two alternating modes:
+//!
+//! 1. **Sequential spans.** Every event that touches cross-shard state is
+//!    processed by [`EngineCore::step`] on the coordinator thread — the
+//!    exact code path `run()` takes, so the interleaving is the
+//!    sequential one by construction.
+//! 2. **Parallel windows.** Between those events the fleet is *quiescent*:
+//!    no lifecycle event is pending before a provable horizon, placement
+//!    is pure cursor arithmetic over a frozen placeable snapshot, and no
+//!    autoscale trigger can fire ([`EngineCore::quiescent_horizon`]
+//!    proves all three). Within `[start, horizon)` every shard's events
+//!    are then independent, so the coordinator pre-places the window's
+//!    arrivals (advancing the real balancer cursor), fans the shards out
+//!    across `std::thread::scope` workers, and at the window edge
+//!    barriers and re-derives exactly the cross-shard state the
+//!    sequential engine would hold: queue totals, refreshed dispatch
+//!    calendar entries, merged tallies and the sorted trace stream.
+//!
+//! **Window-edge pinning rules** (what forces a window to end):
+//!
+//! - the earliest pending lifecycle event — scheduled kill, drain,
+//!   warm-up completion or idle check (idle-retirement runs disable
+//!   windows outright: in-window dispatches would need to *schedule* new
+//!   idle checks, a cross-shard calendar write);
+//! - an armed queue-depth autoscale trigger: windows may not extend past
+//!   `last_scale_up + cooldown`, the first instant the trigger could
+//!   fire again (before the first spawn no bound exists, so execution
+//!   stays sequential while the trigger is armed);
+//! - a configured p99 trigger pins everything — its rolling latency
+//!   window is global per-completion state — until the fleet is
+//!   provably terminal (at `max_shards` with no lifecycle pending), after
+//!   which the trigger is dead and windows reopen;
+//! - the plan's `window_us` chunk size, bounding memory and barrier
+//!   latency when no coupling event is pending at all.
+//!
+//! **What still falls back to the fully sequential engine and why:**
+//! load-aware balancers (least-loaded, affinity-with-spill) read every
+//! shard's live load *per arrival*, so each placement is itself a
+//! cross-shard read and no window can open; a speculative
+//! run-and-rollback scheme for those is the ROADMAP follow-on. One-shard
+//! fleets and `workers <= 1` also run sequentially.
+//!
+//! Identical inputs produce **byte-identical** reports and recorder
+//! streams at every worker count — pinned across the coupled grid
+//! (balancer × {static, autoscaled, failure-injected} × admission ×
+//! deadline × workers) by `tests/engine_equivalence.rs` and the
+//! worker-count invariance proptests.
+
+use fcad_obs::{BatchEvent, Off, RequestEventKind, TraceEvent, TraceSink};
+
+use crate::admission::{admit_traced, AdmissionController, AdmissionKind};
+use crate::autoscale::{Autoscaler, FailurePlan, ShardState};
+use crate::calendar::{LANE_ARRIVAL, LANE_DISPATCH, LANE_LIFECYCLE};
+use crate::cast::{u64_to_usize, usize_to_u64};
+use crate::deadline::DeadlinePolicy;
+use crate::engine::{refresh_dispatch, run, EngineCore, Shard, Tally};
+use crate::fleet::{FleetConfig, LoadBalancerKind};
+use crate::parallel::{StepKey, StepSink};
+use crate::report::ServeReport;
+use crate::request::Request;
+use crate::scenario::Scenario;
+use crate::scheduler::{Scheduler, SchedulerKind};
+
+/// Tuning knobs for windowed parallel execution. The plan never affects
+/// results — only how much of the run executes in parallel windows
+/// versus sequential spans.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowPlan {
+    /// Worker threads for the in-window fan-out; `<= 1` runs the whole
+    /// simulation sequentially.
+    pub workers: usize,
+    /// Maximum window length in microseconds of simulated time; windows
+    /// end earlier at any pinned edge (lifecycle event, armed trigger
+    /// gate).
+    pub window_us: u64,
+    /// Minimum in-window workload (pending arrivals plus queued requests)
+    /// worth a thread fan-out; smaller windows execute sequentially.
+    pub min_parallel_events: usize,
+}
+
+impl WindowPlan {
+    /// A plan with `workers` threads and the default window shape
+    /// (100 ms windows, 128-event fan-out threshold).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            window_us: 100_000,
+            min_parallel_events: 128,
+        }
+    }
+
+    /// Replaces the maximum window length (must be non-zero).
+    pub fn with_window_us(mut self, window_us: u64) -> Self {
+        assert!(window_us > 0, "a window must span at least 1 us");
+        self.window_us = window_us;
+        self
+    }
+
+    /// Replaces the fan-out threshold.
+    pub fn with_min_parallel_events(mut self, min_parallel_events: usize) -> Self {
+        self.min_parallel_events = min_parallel_events;
+        self
+    }
+}
+
+/// [`crate::engine::simulate_autoscaled_deadline`] — the full coupled
+/// stack: QoS classes, admission shedding, autoscaling, failure injection
+/// and deadline culling — executed with windowed parallelism.
+///
+/// Identical inputs produce a report byte-identical to the sequential
+/// engine at every worker count; configurations outside the windowed
+/// regime (see the module docs) run the sequential loop directly.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_windowed(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+    plan: &WindowPlan,
+) -> ServeReport {
+    simulate_windowed_traced(
+        config, scenario, kind, policy, failures, admission, deadline, &mut Off, plan,
+    )
+}
+
+/// [`simulate_windowed`] with every engine event delivered to `sink`, in
+/// the exact order the sequential [`crate::engine::simulate_traced`]
+/// would record them: sequential spans write straight through, window
+/// events carry deterministic step keys and merge by sort at each window
+/// edge.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_windowed_traced(
+    config: &FleetConfig,
+    scenario: &Scenario,
+    kind: SchedulerKind,
+    policy: &Autoscaler,
+    failures: &FailurePlan,
+    admission: AdmissionKind,
+    deadline: DeadlinePolicy,
+    sink: &mut dyn TraceSink,
+    plan: &WindowPlan,
+) -> ServeReport {
+    let windowable = matches!(
+        config.balancer,
+        LoadBalancerKind::RoundRobin | LoadBalancerKind::BranchSharded
+    );
+    let schedulers: Vec<Box<dyn Scheduler>> =
+        (0..config.shard_count()).map(|_| kind.build()).collect();
+    let mut controller = admission.build();
+    if plan.workers <= 1 || config.shard_count() <= 1 || !windowable {
+        return run(
+            config,
+            scenario,
+            schedulers,
+            Some(kind),
+            policy,
+            failures,
+            controller.as_mut(),
+            deadline,
+            sink,
+        );
+    }
+    let mut core = EngineCore::new(
+        config,
+        scenario,
+        schedulers,
+        Some(kind),
+        policy,
+        failures,
+        controller.as_mut(),
+        deadline,
+        sink,
+    );
+    while let Some(start) = core.next_instant() {
+        match core.quiescent_horizon() {
+            Some(horizon) => {
+                let cap = horizon.min(start.saturating_add(plan.window_us));
+                // `cap <= start`: the pinning event *is* the next event.
+                // `run_window == 0`: the window is below the fan-out
+                // threshold (or holds only work dispatchable at or after
+                // the edge). Either way, advance sequentially — `step()`
+                // is the sequential engine and is always correct.
+                if (cap <= start || core.run_window(cap, plan, admission) == 0)
+                    && !core.step_until(cap)
+                {
+                    break;
+                }
+            }
+            None => {
+                if !core.step() {
+                    break;
+                }
+            }
+        }
+    }
+    core.finish()
+}
+
+impl<'a> EngineCore<'a, '_> {
+    /// The earliest pending event instant (arrival cursor vs. live
+    /// calendar front), or `None` when the run is complete. Discards
+    /// stale dispatch entries exactly as [`EngineCore::step`] would.
+    pub(crate) fn next_instant(&mut self) -> Option<u64> {
+        let due_arrival = self.arrivals.get(self.next_arrival).map(|r| r.issued_at_us);
+        if due_arrival.is_none() && self.queued_total == 0 {
+            return None;
+        }
+        let front = loop {
+            match self.calendar.peek_key() {
+                Some(key)
+                    if key.lane == LANE_DISPATCH
+                        && key.b != self.shards[u64_to_usize(key.a)].dispatch_epoch =>
+                {
+                    self.calendar.pop();
+                }
+                other => break other,
+            }
+        };
+        match (due_arrival, front) {
+            (Some(arrival), Some(key)) => Some(arrival.min(key.at_us)),
+            (Some(arrival), None) => Some(arrival),
+            (None, Some(key)) => Some(key.at_us),
+            (None, None) => None,
+        }
+    }
+
+    /// Runs sequential steps through every event strictly before `cap`,
+    /// taking at least one step (the pinning event at the window edge
+    /// when the window itself was empty). Returns `false` on run
+    /// completion.
+    pub(crate) fn step_until(&mut self, cap: u64) -> bool {
+        if !self.step() {
+            return false;
+        }
+        while self.next_instant().is_some_and(|at| at < cap) {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Proves a quiescent horizon: the earliest instant at which an event
+    /// *could* read or write cross-shard state. Every event strictly
+    /// before the horizon touches only its own shard, so `[now, horizon)`
+    /// may execute as a parallel window. Returns `None` when no horizon
+    /// can be proved and execution must stay sequential.
+    ///
+    /// The proof obligations, matching the sequential engine arm by arm:
+    ///
+    /// - placement must be load-oblivious (`dense`) — load-aware
+    ///   balancers read every shard's load per arrival;
+    /// - no shard may be Warming or Draining (their transitions interact
+    ///   with in-window dispatches), and at least one must be Active
+    ///   (otherwise arrivals take the global lost path);
+    /// - idle retirement must be off — in-window dispatch-to-empty would
+    ///   have to push new idle-check calendar entries, reordering the
+    ///   shared lifecycle sequence;
+    /// - the earliest pending lifecycle event bounds the horizon;
+    /// - a configured p99 trigger demands sequential execution until the
+    ///   fleet is terminal (`max_shards` reached, no lifecycle pending):
+    ///   its rolling latency window is global state written on *every*
+    ///   completion, and only in the terminal state is that write
+    ///   provably unobservable (the trigger is permanently gated on
+    ///   `alive < max_shards`, and alive can no longer change);
+    /// - an armed queue-depth trigger (arrivals remain, `alive <
+    ///   max_shards`) bounds the horizon by `last_scale_up + cooldown` —
+    ///   the first instant it could fire again; before the first
+    ///   scale-up there is no bound, so no window opens.
+    pub(crate) fn quiescent_horizon(&self) -> Option<u64> {
+        if !self.dense || self.policy.idle_retire_us > 0 {
+            return None;
+        }
+        let mut active = 0usize;
+        for shard in &self.shards {
+            match shard.phase {
+                ShardState::Warming | ShardState::Draining => return None,
+                ShardState::Active => active += 1,
+                ShardState::Retired | ShardState::Failed => {}
+            }
+        }
+        if active == 0 {
+            return None;
+        }
+        let next_life = self.calendar.earliest_in_lane(LANE_LIFECYCLE);
+        let mut horizon = next_life.unwrap_or(u64::MAX);
+        if self.spawn.is_some() {
+            let terminal = active >= self.policy.max_shards && next_life.is_none();
+            if self.policy.scale_up_p99_ms > 0.0 && !terminal {
+                return None;
+            }
+            let depth_armed = self.policy.scale_up_queue_depth > 0
+                && active < self.policy.max_shards
+                && self.next_arrival < self.arrivals.len();
+            if depth_armed {
+                match self.last_scale_up {
+                    Some(last) => {
+                        horizon = horizon.min(last.saturating_add(self.policy.cooldown_us));
+                    }
+                    None => return None,
+                }
+            }
+        }
+        Some(horizon)
+    }
+
+    /// Executes every event strictly before `cap` as one parallel window:
+    /// pre-places the window's arrivals through the dense snapshot
+    /// (advancing the real balancer cursor), fans the shards out across
+    /// scoped worker threads, then re-derives the coordinator's
+    /// cross-shard state at the window edge — queue totals, dispatch
+    /// calendar entries, merged tallies and the sorted trace stream.
+    ///
+    /// Returns the number of events processed; `0` means the window was
+    /// below the plan's fan-out threshold (nothing ran — the caller
+    /// advances sequentially instead).
+    pub(crate) fn run_window(
+        &mut self,
+        cap: u64,
+        plan: &WindowPlan,
+        admission_kind: AdmissionKind,
+    ) -> usize {
+        let in_window =
+            self.arrivals[self.next_arrival..].partition_point(|r| r.issued_at_us < cap);
+        if in_window + self.queued_total < plan.min_parallel_events.max(1) {
+            return 0;
+        }
+        if self.placeable_dirty {
+            self.rebuild_placeable();
+        }
+        let shard_count = self.shards.len();
+        let mut per_shard: Vec<Vec<Request>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for index in self.next_arrival..self.next_arrival + in_window {
+            let request = self.arrivals[index];
+            let dst = self
+                .balancer
+                .place_dense(&request, &self.placeable_ids)
+                .expect("windowed execution covers only load-oblivious balancers");
+            per_shard[dst].push(request);
+        }
+        self.next_arrival += in_window;
+
+        let capacity = self.capacity;
+        let deadline = self.deadline;
+        let split_us = self.split_us;
+        let tracing = self.tracing;
+        let branch_count = self.tally.issued.len();
+
+        let worker_count = plan.workers.min(shard_count);
+        let mut assignments: Vec<Vec<(usize, &mut Shard<'a>, Vec<Request>)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        for (shard_id, (shard, slice)) in self.shards.iter_mut().zip(per_shard).enumerate() {
+            assignments[shard_id % worker_count].push((shard_id, shard, slice));
+        }
+        let mut processed = 0usize;
+        let mut trace: Vec<(StepKey, TraceEvent)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .into_iter()
+                .map(|mine| {
+                    scope.spawn(move || {
+                        let mut worker_tally = Tally::new(branch_count);
+                        let mut events: Vec<(StepKey, TraceEvent)> = Vec::new();
+                        let mut steps = 0usize;
+                        for (shard_id, shard, slice) in mine {
+                            let mut controller = admission_kind.build();
+                            let mut sink = StepSink::new(tracing);
+                            steps += advance_shard(
+                                shard_id,
+                                shard,
+                                controller.as_mut(),
+                                &slice,
+                                capacity,
+                                deadline,
+                                cap,
+                                split_us,
+                                &mut worker_tally,
+                                &mut sink,
+                            );
+                            events.extend(sink.events);
+                        }
+                        (worker_tally, events, steps)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (worker_tally, events, steps) =
+                    handle.join().expect("window worker thread panicked");
+                self.tally.absorb(&worker_tally);
+                trace.extend(events);
+                processed += steps;
+            }
+        });
+
+        // Barrier: re-derive the cross-shard state the sequential engine
+        // would hold at the window edge. Queue total is a plain re-sum;
+        // dispatch entries are refreshed per shard in ascending id order
+        // (epoch bumps invalidate every pre-window entry lazily); window
+        // trace events sort by step key into exactly the sequential
+        // emission order, all strictly before any post-window event.
+        self.queued_total = self.shards.iter().map(|s| s.scheduler.queued()).sum();
+        for shard in 0..shard_count {
+            refresh_dispatch(&mut self.calendar, &mut self.shards, shard);
+        }
+        if tracing {
+            trace.sort_unstable_by_key(|(key, _)| *key);
+            for (_, event) in trace {
+                self.sink.record(event);
+            }
+        }
+        processed
+    }
+}
+
+/// Runs one shard's discrete-event loop over `arrivals` until every event
+/// strictly before `horizon_us` is processed: the per-shard restriction
+/// of the engine's loop — only arrival and dispatch events exist, the
+/// shard never changes lifecycle phase, and arrivals win same-instant
+/// ties against dispatches exactly as the calendar's lane order dictates.
+/// Queued work whose dispatch instant lands at or past the horizon stays
+/// queued for the next window (or the sequential engine).
+///
+/// [`crate::parallel`] calls this with an unbounded horizon over a fresh
+/// shard — the static full-run decomposition; the windowed engine calls
+/// it repeatedly on live shards. Returns the number of events processed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advance_shard(
+    shard_id: usize,
+    shard: &mut Shard<'_>,
+    admission: &mut dyn AdmissionController,
+    arrivals: &[Request],
+    capacity: usize,
+    deadline: DeadlinePolicy,
+    horizon_us: u64,
+    split_us: Option<u64>,
+    tally: &mut Tally,
+    sink: &mut StepSink,
+) -> usize {
+    let tracing = sink.enabled();
+    let mut next_arrival = 0usize;
+    let mut processed = 0usize;
+    loop {
+        let due_arrival = arrivals.get(next_arrival).copied();
+        if due_arrival.is_none() && shard.scheduler.queued() == 0 {
+            break;
+        }
+        let arrival_at = due_arrival.map_or(u64::MAX, |r| r.issued_at_us);
+        if shard.scheduler.queued() > 0 && shard.dispatch_at() < arrival_at {
+            let now_us = shard.dispatch_at();
+            if now_us >= horizon_us {
+                break;
+            }
+            processed += 1;
+            sink.begin_step(now_us, LANE_DISPATCH, usize_to_u64(shard_id));
+            // Same culling discipline as the sequential dispatch arm:
+            // already-expired requests retire straight out of the queue,
+            // and a fully-dead batch is followed by another pop at the
+            // same instant — culling costs no fabric time.
+            let batch = loop {
+                let popped = shard.scheduler.next_batch(&shard.model, now_us, &[]);
+                debug_assert!(!popped.is_empty(), "scheduler returned an empty batch");
+                let live = if deadline.culls() {
+                    let mut live = Vec::with_capacity(popped.len());
+                    for request in popped {
+                        if now_us > request.deadline_us() {
+                            let single_us = shard.single_cost_us[request.branch];
+                            let class = request.class.index();
+                            shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
+                            shard.class_backlog_us[class] =
+                                shard.class_backlog_us[class].saturating_sub(single_us);
+                            shard.expired += 1;
+                            tally.expired[request.branch] += 1;
+                            tally.class_expired[class] += 1;
+                            if tracing {
+                                sink.record(request.trace(
+                                    now_us,
+                                    Some(shard_id),
+                                    RequestEventKind::Expired,
+                                ));
+                            }
+                        } else {
+                            live.push(request);
+                        }
+                    }
+                    live
+                } else {
+                    popped
+                };
+                if !live.is_empty() || shard.scheduler.queued() == 0 {
+                    break live;
+                }
+            };
+            if batch.is_empty() {
+                // Expiry drained the whole queue without touching the
+                // fabric — `free_at_us` stays put.
+                shard.pending_since_us = 0;
+                continue;
+            }
+            let branch = batch[0].branch;
+            debug_assert!(batch.iter().all(|r| r.branch == branch));
+            let service_us = shard.model.batch_service_us(branch, batch.len());
+            let done_us = now_us + service_us;
+            shard.busy_us += service_us;
+            if tracing {
+                sink.record(TraceEvent::Batch(BatchEvent {
+                    at_us: now_us,
+                    shard: shard_id,
+                    branch,
+                    len: batch.len(),
+                    service_us,
+                }));
+            }
+            for request in &batch {
+                let latency_us = request.latency_us(done_us);
+                if tracing {
+                    sink.record(request.trace(
+                        now_us,
+                        Some(shard_id),
+                        RequestEventKind::ServiceStart,
+                    ));
+                    sink.record(request.trace(
+                        done_us,
+                        Some(shard_id),
+                        RequestEventKind::Complete { latency_us },
+                    ));
+                }
+                tally.branch_histograms[request.branch].record(latency_us);
+                tally.completed[request.branch] += 1;
+                let class = request.class.index();
+                tally.class_histograms[class].record(latency_us);
+                tally.class_completed[class] += 1;
+                if request.meets_slo(done_us) {
+                    tally.within_budget[class] += 1;
+                }
+                shard.histogram.record(latency_us);
+                shard.completed += 1;
+                let single_us = shard.single_cost_us[request.branch];
+                shard.backlog_us = shard.backlog_us.saturating_sub(single_us);
+                shard.class_backlog_us[class] =
+                    shard.class_backlog_us[class].saturating_sub(single_us);
+                if let Some(split) = split_us {
+                    if done_us < split {
+                        tally.pre_failure.record(latency_us);
+                    } else {
+                        tally.post_failure.record(latency_us);
+                    }
+                }
+            }
+            shard.free_at_us = done_us;
+            shard.pending_since_us = 0;
+        } else {
+            let request = due_arrival.expect("arrival_at is finite");
+            debug_assert!(
+                request.issued_at_us < horizon_us,
+                "window arrivals are pre-filtered to the horizon"
+            );
+            next_arrival += 1;
+            processed += 1;
+            let now_us = request.issued_at_us;
+            sink.begin_step(now_us, LANE_ARRIVAL, request.id);
+            if tracing {
+                sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Arrival));
+            }
+            shard.issued += 1;
+            let single_us = shard.single_cost_us[request.branch];
+            let view = shard.admission_view(capacity, single_us, request.branch);
+            if !admit_traced(
+                admission, &request, &view, now_us, shard_id, &mut *sink, tracing,
+            ) {
+                tally.shed[request.branch] += 1;
+                tally.class_shed[request.class.index()] += 1;
+                shard.shed += 1;
+            } else if shard.scheduler.queued() >= capacity {
+                tally.dropped[request.branch] += 1;
+                tally.class_dropped[request.class.index()] += 1;
+                shard.dropped += 1;
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Drop));
+                }
+            } else {
+                if shard.scheduler.queued() == 0 {
+                    shard.pending_since_us = now_us;
+                }
+                shard.backlog_us += single_us;
+                shard.class_backlog_us[request.class.index()] += single_us;
+                shard.scheduler.enqueue(request, now_us);
+                if tracing {
+                    sink.record(request.trace(now_us, Some(shard_id), RequestEventKind::Enqueue));
+                }
+            }
+        }
+    }
+    processed
+}

@@ -14,10 +14,11 @@ mod common;
 
 use common::three_branch_model;
 use fcad_serve::{
-    reference, simulate_autoscaled_qos, simulate_fleet, simulate_fleet_parallel,
-    simulate_fleet_qos, simulate_fleet_qos_parallel, simulate_fleet_traced_parallel,
-    simulate_traced, AdmissionKind, Autoscaler, FailurePlan, FleetConfig, LoadBalancerKind,
-    Recorder, Scenario, SchedulerKind,
+    reference, simulate_autoscaled_deadline, simulate_autoscaled_qos, simulate_fleet,
+    simulate_fleet_parallel, simulate_fleet_qos, simulate_fleet_qos_parallel,
+    simulate_fleet_traced_parallel, simulate_traced, simulate_windowed, simulate_windowed_traced,
+    AdmissionKind, Autoscaler, DeadlinePolicy, FailurePlan, FleetConfig, LoadBalancerKind,
+    Recorder, Scenario, SchedulerKind, WindowPlan,
 };
 
 const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
@@ -216,6 +217,161 @@ fn trace_streams_are_identical_event_for_event() {
                 rebuilt_rec.events(),
                 "trace stream diverged: {kind:?} × {balancer:?}"
             );
+        }
+    }
+}
+
+/// A deliberately aggressive plan: tiny windows and a low fan-out
+/// threshold so even the small test scenarios open many parallel windows
+/// (instead of falling through to the sequential span path every time).
+fn stress_plan(workers: usize) -> WindowPlan {
+    WindowPlan::new(workers)
+        .with_window_us(50_000)
+        .with_min_parallel_events(8)
+}
+
+/// The coupled regimes the windowed engine must replay bit-identically:
+/// each is a (scenario, fleet size, autoscaler, failure plan, deadline)
+/// tuple exercising a different source of cross-shard coupling.
+fn coupled_regimes() -> Vec<(
+    &'static str,
+    Scenario,
+    usize,
+    Autoscaler,
+    FailurePlan,
+    DeadlinePolicy,
+)> {
+    vec![
+        (
+            "static",
+            Scenario::b2_qos().with_sessions(32),
+            4,
+            Autoscaler::none(),
+            FailurePlan::none(),
+            DeadlinePolicy::Off,
+        ),
+        (
+            // Queue-depth scale-ups with idle retirement off: windows
+            // reopen between the cooldown-gated trigger edges.
+            "autoscaled",
+            Scenario::diurnal_fleet(2),
+            2,
+            Autoscaler::reactive(2, 6).with_idle_retire_us(0),
+            FailurePlan::none(),
+            DeadlinePolicy::Off,
+        ),
+        (
+            // Idle retirement on: every window collapses to the
+            // sequential span path, which must still be exact.
+            "autoscaled-idle",
+            Scenario::diurnal_fleet(2),
+            2,
+            Autoscaler::reactive(1, 5),
+            FailurePlan::none(),
+            DeadlinePolicy::Off,
+        ),
+        (
+            "failure-injected",
+            Scenario::b2_failover(3),
+            3,
+            Autoscaler::reactive(2, 5).with_idle_retire_us(0),
+            FailurePlan::scheduled(&[(600_000, 0), (1_400_000, 2)]),
+            DeadlinePolicy::Off,
+        ),
+        (
+            "failure-seeded",
+            Scenario::b2_failover(3),
+            3,
+            Autoscaler::reactive(2, 4).with_idle_retire_us(0),
+            FailurePlan::seeded(0xF00D, 2, 2_500_000),
+            DeadlinePolicy::Off,
+        ),
+        (
+            "deadline-culled",
+            Scenario::a2_fleet(4),
+            4,
+            Autoscaler::none(),
+            FailurePlan::none(),
+            DeadlinePolicy::CullExpired,
+        ),
+    ]
+}
+
+#[test]
+fn windowed_engine_matches_the_sequential_engine_across_the_coupled_grid() {
+    for (regime, scenario, shards, policy, failures, deadline) in coupled_regimes() {
+        for &kind in SchedulerKind::all() {
+            for &balancer in LoadBalancerKind::all() {
+                let config = fleet(shards, balancer);
+                for admission in ADMISSIONS {
+                    let sequential = simulate_autoscaled_deadline(
+                        &config, &scenario, kind, &policy, &failures, admission, deadline,
+                    );
+                    for &workers in &WORKER_COUNTS {
+                        let windowed = simulate_windowed(
+                            &config,
+                            &scenario,
+                            kind,
+                            &policy,
+                            &failures,
+                            admission,
+                            deadline,
+                            &stress_plan(workers),
+                        );
+                        assert_eq!(
+                            sequential.to_json_line(),
+                            windowed.to_json_line(),
+                            "windowed engine diverged: {regime} × {kind:?} × {balancer:?} × \
+                             {admission:?} × {workers} workers"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_trace_streams_match_the_sequential_recording() {
+    // The full dynamic stack, traced: scale-ups, a mid-run kill with
+    // orphan re-placement, admission shedding — the recorded stream must
+    // be event-for-event identical at every worker count.
+    let scenario = Scenario::b2_failover(2);
+    let policy = Autoscaler::reactive(1, 4).with_idle_retire_us(0);
+    let failures = FailurePlan::scheduled(&[(900_000, 1)]);
+    for &kind in SchedulerKind::all() {
+        for &balancer in LoadBalancerKind::all() {
+            let config = fleet(2, balancer);
+            let mut sequential_rec = Recorder::new();
+            let sequential = simulate_traced(
+                &config,
+                &scenario,
+                kind,
+                &policy,
+                &failures,
+                AdmissionKind::QueueThreshold,
+                &mut sequential_rec,
+            );
+            for &workers in &WORKER_COUNTS {
+                let mut windowed_rec = Recorder::new();
+                let windowed = simulate_windowed_traced(
+                    &config,
+                    &scenario,
+                    kind,
+                    &policy,
+                    &failures,
+                    AdmissionKind::QueueThreshold,
+                    DeadlinePolicy::Off,
+                    &mut windowed_rec,
+                    &stress_plan(workers),
+                );
+                assert_eq!(sequential.to_json_line(), windowed.to_json_line());
+                assert_eq!(
+                    sequential_rec.events(),
+                    windowed_rec.events(),
+                    "windowed trace diverged: {kind:?} × {balancer:?} × {workers} workers"
+                );
+            }
         }
     }
 }

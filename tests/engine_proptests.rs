@@ -9,8 +9,9 @@ mod common;
 use common::three_branch_model;
 use fcad_serve::calendar::{Calendar, EventKey};
 use fcad_serve::{
-    reference, simulate_fleet_parallel, ArrivalPattern, ClassMix, FleetConfig, LoadBalancerKind,
-    QosClass, Request, Scenario, Scheduler, SchedulerKind,
+    reference, simulate_autoscaled_deadline, simulate_fleet_parallel, simulate_windowed,
+    AdmissionKind, ArrivalPattern, Autoscaler, ClassMix, DeadlinePolicy, FailurePlan, FleetConfig,
+    LoadBalancerKind, QosClass, Request, Scenario, Scheduler, SchedulerKind, WindowPlan,
 };
 use proptest::prelude::*;
 
@@ -176,6 +177,70 @@ proptest! {
                 frozen.to_json_line(),
                 parallel.to_json_line(),
                 "worker count {} diverged", workers
+            );
+        }
+    }
+
+    /// The *windowed* engine is worker-count invariant on coupled fleets:
+    /// random seeds, balancers (the load-aware kinds exercise the
+    /// sequential fallback), admission controllers, window shapes and a
+    /// random coupling regime — static, autoscaled, failure-injected or
+    /// deadline-culled — all produce reports byte-identical to the
+    /// sequential engine at 1, 2, 4 and 8 workers.
+    #[test]
+    fn windowed_worker_counts_agree_on_random_coupled_scenarios(
+        seed in 0u64..10_000,
+        sessions in 2usize..12,
+        capacity in 4usize..96,
+        kind_sel in 0usize..4,
+        balancer_sel in 0usize..4,
+        admission_sel in 0usize..3,
+        regime_sel in 0usize..4,
+        window_us in 10_000u64..200_000,
+        min_events in 1usize..64,
+    ) {
+        let kind = SchedulerKind::all()[kind_sel];
+        let admission = [
+            AdmissionKind::AdmitAll,
+            AdmissionKind::QueueThreshold,
+            AdmissionKind::BudgetAware,
+        ][admission_sel];
+        let mut scenario = Scenario::b2()
+            .with_seed(seed)
+            .with_sessions(sessions)
+            .with_class_mix(ClassMix::telepresence());
+        scenario.queue_capacity = capacity;
+        scenario.arrival = ArrivalPattern::Poisson;
+        let mut config = FleetConfig::uniform(three_branch_model(), 3);
+        config.balancer = LoadBalancerKind::all()[balancer_sel];
+        let (policy, failures, deadline) = match regime_sel {
+            0 => (Autoscaler::none(), FailurePlan::none(), DeadlinePolicy::Off),
+            1 => (
+                Autoscaler::reactive(2, 5).with_idle_retire_us(0),
+                FailurePlan::none(),
+                DeadlinePolicy::Off,
+            ),
+            2 => (
+                Autoscaler::reactive(2, 4).with_idle_retire_us(0),
+                FailurePlan::seeded(seed ^ 0xDEAD_BEEF, 1, 2_000_000),
+                DeadlinePolicy::Off,
+            ),
+            _ => (Autoscaler::none(), FailurePlan::none(), DeadlinePolicy::CullExpired),
+        };
+        let sequential = simulate_autoscaled_deadline(
+            &config, &scenario, kind, &policy, &failures, admission, deadline,
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let plan = WindowPlan::new(workers)
+                .with_window_us(window_us)
+                .with_min_parallel_events(min_events);
+            let windowed = simulate_windowed(
+                &config, &scenario, kind, &policy, &failures, admission, deadline, &plan,
+            );
+            prop_assert_eq!(
+                sequential.to_json_line(),
+                windowed.to_json_line(),
+                "windowed run with {} workers diverged", workers
             );
         }
     }
